@@ -1,0 +1,73 @@
+// Command coordinator serves a distributed analysis over TCP: it splits
+// the trace-space partitions into chunks and hands them to connecting
+// workers (cmd/worker), terminating everyone as soon as one worker finds
+// a counterexample. This implements the cross-machine termination that
+// the paper's prototype left as future work.
+//
+//	coordinator -listen :9731 -i program.mt --unwind 2 --contexts 5 --partitions 16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/prog"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":9731", "listen address")
+		input      = flag.String("i", "", "input program file")
+		unwind     = flag.Int("unwind", 1, "loop/recursion unwinding bound")
+		contexts   = flag.Int("contexts", 1, "number of execution contexts")
+		width      = flag.Int("width", 8, "integer bit width")
+		partitions = flag.Int("partitions", 8, "total trace-space partitions (power of two)")
+		chunk      = flag.Int("chunk", 0, "partitions per work unit (default partitions/8)")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "coordinator: -i is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(2)
+	}
+	p, err := prog.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("coordinator: listening on %s (%d partitions)\n", ln.Addr(), *partitions)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := distrib.Coordinate(ctx, ln, p, distrib.CoordinatorOptions{
+		Unwind:     *unwind,
+		Contexts:   *contexts,
+		Width:      *width,
+		Partitions: *partitions,
+		ChunkSize:  *chunk,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("verdict: %v (winner partition %d, %d jobs, %d reassigned, %v)\n",
+		res.Verdict, res.Winner, res.Jobs, res.Reassigned, res.Wall)
+	if res.Verdict == core.Unsafe {
+		os.Exit(1)
+	}
+}

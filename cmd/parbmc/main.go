@@ -1,0 +1,200 @@
+// Command parbmc is the paper's prototype verifier (Sect. 3.4): parallel
+// and distributed context-bounded model checking of multi-threaded
+// programs via symbolic partitioning of the interleavings.
+//
+// Parallel analysis over 8 cores on a single machine:
+//
+//	parbmc -i program.mt --unwind 2 --contexts 5 --cores 8
+//
+// Distributed analysis over two 4-core machines (the paper's --from/--to
+// interface, half-open ranges):
+//
+//	parbmc -i program.mt --unwind 2 --contexts 5 --cores 8 --from 0 --to 4
+//	parbmc -i program.mt --unwind 2 --contexts 5 --cores 8 --from 4 --to 8
+//
+// Built-in benchmark programs can be selected with --benchmark
+// (fibonacci, boundedbuffer, eliminationstack, safestack,
+// workstealingqueue).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"repro/internal/bench"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/flatten"
+	"repro/internal/weakmem"
+	"repro/prog"
+)
+
+// stdout is the dump destination, replaceable in tests.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	var (
+		input      = flag.String("i", "", "input program file")
+		benchmark  = flag.String("benchmark", "", "built-in benchmark name instead of -i")
+		unwind     = flag.Int("unwind", 1, "loop/recursion unwinding bound")
+		contexts   = flag.Int("contexts", 0, "number of execution contexts")
+		rounds     = flag.Int("rounds", 0, "round-robin rounds (ablation mode, replaces --contexts)")
+		width      = flag.Int("width", 8, "integer bit width")
+		cores      = flag.Int("cores", 1, "parallel solver instances")
+		partitions = flag.Int("partitions", 0, "trace-space partitions (power of two; default: cores)")
+		from       = flag.Int("from", 0, "first partition index (distributed mode)")
+		to         = flag.Int("to", 0, "one past the last partition index (distributed mode)")
+		preprocess = flag.Bool("preprocess", false, "run the MiniSat-style simplifier before partitioning")
+		certify    = flag.Bool("certify", false, "check refutation proofs for UNSAT partitions (certified SAFE verdicts)")
+		pso        = flag.Bool("pso", false, "analyse under PSO weak memory (per-variable store buffers)")
+		tso        = flag.Bool("tso", false, "analyse under TSO weak memory (FIFO store buffers)")
+		dimacs     = flag.String("dimacs", "", "export the propositional formula in DIMACS format and exit")
+		dump       = flag.String("dump", "", "dump an intermediate artefact and exit: source | flat")
+		showTrace  = flag.Bool("trace", true, "print the counterexample schedule")
+		quiet      = flag.Bool("q", false, "print only the verdict")
+	)
+	flag.Parse()
+
+	p, err := loadProgram(*input, *benchmark)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parbmc:", err)
+		os.Exit(2)
+	}
+	if *pso && *tso {
+		fmt.Fprintln(os.Stderr, "parbmc: --pso and --tso are mutually exclusive")
+		os.Exit(2)
+	}
+	if *pso {
+		p, err = weakmem.Transform(p)
+	} else if *tso {
+		p, err = weakmem.TransformTSO(p, 2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parbmc:", err)
+		os.Exit(2)
+	}
+
+	if *dump != "" || *dimacs != "" {
+		if err := dumpArtefacts(p, *dump, *dimacs, *unwind, *contexts, *rounds, *width); err != nil {
+			fmt.Fprintln(os.Stderr, "parbmc:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := core.Verify(ctx, p, core.Options{
+		Unwind:       *unwind,
+		Contexts:     *contexts,
+		Rounds:       *rounds,
+		Width:        *width,
+		Cores:        *cores,
+		Partitions:   *partitions,
+		From:         *from,
+		To:           *to,
+		Preprocess:   *preprocess,
+		CertifyUnsat: *certify,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parbmc:", err)
+		os.Exit(2)
+	}
+
+	if *quiet {
+		fmt.Println(res.Verdict)
+	} else {
+		fmt.Printf("verdict:    %v\n", res.Verdict)
+		if *certify && res.Verdict == core.Safe {
+			fmt.Printf("certified:  %v (refutation proofs checked)\n", res.Certified)
+		}
+		fmt.Printf("threads:    %d\n", res.Threads)
+		fmt.Printf("formula:    %d variables, %d clauses\n", res.Vars, res.Clauses)
+		fmt.Printf("partitions: %d (winner: %d)\n", res.Partitions, res.Winner)
+		fmt.Printf("encode:     %v\n", res.EncodeTime)
+		fmt.Printf("solve:      %v\n", res.SolveTime)
+		if res.Verdict == core.Unsafe {
+			if res.Violation != nil {
+				fmt.Printf("violation:  %v\n", res.Violation)
+			}
+			if *showTrace && res.Trace != nil {
+				fmt.Printf("schedule:   %v\n", res.Trace)
+			}
+		}
+	}
+	if res.Verdict == core.Unsafe {
+		os.Exit(1)
+	}
+}
+
+func loadProgram(input, benchmark string) (*prog.Program, error) {
+	if benchmark != "" {
+		switch benchmark {
+		case "fibonacci":
+			return bench.Fibonacci(2), nil
+		case "boundedbuffer":
+			return bench.Boundedbuffer(), nil
+		case "eliminationstack":
+			return bench.Eliminationstack(), nil
+		case "safestack":
+			return bench.Safestack(), nil
+		case "workstealingqueue":
+			return bench.Workstealingqueue(), nil
+		default:
+			return nil, fmt.Errorf("unknown benchmark %q", benchmark)
+		}
+	}
+	if input == "" {
+		return nil, fmt.Errorf("either -i or --benchmark is required")
+	}
+	data, err := os.ReadFile(input)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Parse(string(data))
+}
+
+// dumpArtefacts prints intermediate artefacts: the (re)formatted source,
+// the flattened sequentialized structure (the Fig. 3 artefact), or the
+// bit-blasted formula in DIMACS format with the partitioning variables
+// announced in comments.
+func dumpArtefacts(p *prog.Program, dump, dimacs string, unwind, contexts, rounds, width int) error {
+	if dump == "source" {
+		fmt.Fprint(stdout, prog.Format(p))
+		return nil
+	}
+	opts := core.Options{Unwind: unwind, Contexts: contexts, Rounds: rounds, Width: width}
+	enc, fp, _, err := core.EncodeProgram(p, opts)
+	if err != nil {
+		return err
+	}
+	switch dump {
+	case "flat":
+		return flatten.Format(stdout, fp)
+	case "":
+	default:
+		return fmt.Errorf("unknown dump artefact %q (want source | flat)", dump)
+	}
+	if dimacs != "" {
+		f, err := os.Create(dimacs)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Comment header: the partitioning variables (tid LSBs), so
+		// external solvers can reproduce the trace-space partitioning.
+		fmt.Fprintf(f, "c parbmc: unwind=%d contexts=%d rounds=%d width=%d\n", unwind, contexts, rounds, width)
+		for i, l := range enc.TidLSBs {
+			if l != 0 {
+				fmt.Fprintf(f, "c partition-var context=%d dimacs=%d\n", i, l.Dimacs())
+			}
+		}
+		return cnf.WriteDimacs(f, enc.Formula())
+	}
+	return nil
+}

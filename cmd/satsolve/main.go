@@ -1,0 +1,120 @@
+// Command satsolve is a standalone CDCL SAT solver over DIMACS CNF
+// files, exposing the solver that backs the verifier (the reproduction's
+// MiniSat 2.2 stand-in). It prints s SATISFIABLE / s UNSATISFIABLE and a
+// v model line, following SAT-competition output conventions.
+//
+//	satsolve formula.cnf
+//	satsolve -cores 4 -portfolio sharing formula.cnf
+//	satsolve -assume "3 -7" formula.cnf
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 1, "parallel solver instances")
+		style    = flag.String("portfolio", "sharing", "portfolio style: sharing | diverse")
+		assume   = flag.String("assume", "", "space-separated DIMACS literals to assume")
+		stats    = flag.Bool("stats", false, "print search statistics")
+		noModel  = flag.Bool("no-model", false, "suppress the v line")
+		maxConfl = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] formula.cnf")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsolve:", err)
+		os.Exit(2)
+	}
+	formula, err := cnf.ReadDimacs(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsolve:", err)
+		os.Exit(2)
+	}
+
+	var assumptions []cnf.Lit
+	for _, tok := range strings.Fields(*assume) {
+		n, err := strconv.Atoi(tok)
+		if err != nil || n == 0 {
+			fmt.Fprintf(os.Stderr, "satsolve: bad assumption %q\n", tok)
+			os.Exit(2)
+		}
+		assumptions = append(assumptions, cnf.FromDimacs(n))
+	}
+
+	var status sat.Status
+	var model []bool
+	var searchStats []sat.Stats
+
+	if *cores > 1 && len(assumptions) == 0 {
+		st := portfolio.StyleSharing
+		if *style == "diverse" {
+			st = portfolio.StyleDiverse
+		}
+		res, err := portfolio.Solve(context.Background(), formula, portfolio.Options{
+			Cores: *cores,
+			Style: st,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve:", err)
+			os.Exit(2)
+		}
+		status, model, searchStats = res.Status, res.Model, res.Stats
+	} else {
+		s := sat.NewFromFormula(formula, sat.Options{MaxConflicts: *maxConfl})
+		status, err = s.Solve(assumptions...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve:", err)
+			os.Exit(2)
+		}
+		if status == sat.Sat {
+			model = s.Model()
+		}
+		searchStats = []sat.Stats{s.Stats()}
+	}
+
+	if *stats {
+		for i, st := range searchStats {
+			fmt.Printf("c instance %d: decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d\n",
+				i, st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts)
+		}
+	}
+	switch status {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if !*noModel {
+			var b strings.Builder
+			b.WriteString("v")
+			for v := 1; v <= formula.NumVars; v++ {
+				lit := v
+				if !model[v-1] {
+					lit = -v
+				}
+				fmt.Fprintf(&b, " %d", lit)
+			}
+			b.WriteString(" 0")
+			fmt.Println(b.String())
+		}
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+}

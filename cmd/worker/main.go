@@ -1,0 +1,38 @@
+// Command worker joins a distributed analysis: it connects to a
+// coordinator (cmd/coordinator), receives partition-range jobs, runs the
+// parallel verifier on its local cores, and reports verdicts until the
+// coordinator sends stop.
+//
+//	worker -connect host:9731 -cores 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/distrib"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "127.0.0.1:9731", "coordinator address")
+		cores   = flag.Int("cores", 1, "local solver instances per job")
+		name    = flag.String("name", "", "worker name reported to the coordinator")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	jobs, err := distrib.Work(ctx, *connect, distrib.WorkerOptions{
+		Name:  *name,
+		Cores: *cores,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v (after %d jobs)\n", err, jobs)
+		os.Exit(2)
+	}
+	fmt.Printf("worker: done, %d jobs completed\n", jobs)
+}

@@ -1,0 +1,82 @@
+package bench
+
+import "repro/prog"
+
+// boundedbufferSrc re-models the Boundedbuffer benchmark [Machado et
+// al., PLDI'15; SV-COMP pthread-complex]: a shared one-slot buffer
+// accessed by two producers and one consumer through a mutex. The
+// original's bug is a wake-up race on the condition variable; the
+// re-model keeps the same time-of-check-to-time-of-use shape by letting
+// producers test the fill level outside the critical section: two
+// producers can both observe a free slot and both insert, overflowing
+// the buffer. The overflow flag is asserted by main after the joins, so
+// exposing the bug needs both producers interleaved mid-insert plus the
+// consumer and main to terminate: at least two loop unwindings and six
+// execution contexts (five context switches, as in the paper's Table 1
+// narrative).
+const boundedbufferSrc = `
+mutex m;
+int count;
+int buf[2];
+int oflow;
+int got;
+
+void producer(int v) {
+  int c;
+  int k = 0;
+  while (k < 2) {
+    c = count;
+    if (c < 1) {
+      lock(m);
+      buf[count] = v;
+      count = count + 1;
+      if (count > 1) {
+        oflow = 1;
+      }
+      unlock(m);
+    }
+    k = k + 1;
+  }
+}
+
+void consumer() {
+  int tries = 0;
+  while (tries < 2) {
+    lock(m);
+    if (count > 0) {
+      count = count - 1;
+      got = got + 1;
+    }
+    unlock(m);
+    tries = tries + 1;
+  }
+}
+
+void main() {
+  int t1, t2, t3;
+  t1 = create(producer, 1);
+  t2 = create(producer, 2);
+  t3 = create(consumer);
+  join(t1);
+  join(t2);
+  join(t3);
+  assert(oflow == 0);
+}
+`
+
+// Boundedbuffer returns the re-modelled bounded buffer program.
+func Boundedbuffer() *prog.Program {
+	return mustParse("boundedbuffer", boundedbufferSrc)
+}
+
+// BoundedbufferBench returns the benchmark with metadata.
+func BoundedbufferBench() Benchmark {
+	return Benchmark{
+		Name:        "boundedbuffer",
+		Program:     Boundedbuffer(),
+		Threads:     4,
+		Lines:       countLines(boundedbufferSrc),
+		BugUnwind:   2,
+		BugContexts: 6,
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import "repro/prog"
+
+// safestackSrc re-models the Safestack benchmark [Vyukov, CHESS forum
+// 2010]: a lock-free free-list stack where threads repeatedly pop a cell
+// index, mark it owned, and release it back. The original's famous bug
+// is an ABA race: a thread reads the head and its successor, gets
+// delayed, and its compare-and-swap later succeeds although the list has
+// been popped and re-pushed in between, so the stale successor pointer
+// re-publishes a cell that another thread still owns; the
+// double-acquisition detector (owner flags) records this in dup, which
+// main asserts after the joins. As in the original — where the bug needs
+// 4 round-robin rounds, i.e. at least 12–16 execution contexts, and the
+// paper reports it out of reach within the Table 2 bounds — exposing the
+// re-modelled bug needs three workers and an interleaving of ten or more
+// execution contexts, so every benchmarked configuration is a hard
+// unsatisfiable instance.
+const safestackSrc = `
+int head;
+int nxt[3];
+int owner[3];
+int dup;
+
+void worker() {
+  int h;
+  int n = 0;
+  int got;
+  int k = 0;
+  while (k < 2) {
+    h = head;
+    if (h != 0) {
+      n = nxt[h - 1];
+      got = 0;
+      atomic {
+        if (head == h) {
+          head = n;
+          got = h;
+        }
+      }
+      if (got != 0) {
+        atomic {
+          if (owner[got - 1] != 0) {
+            dup = 1;
+          }
+          owner[got - 1] = 1;
+        }
+        atomic {
+          owner[got - 1] = 0;
+          nxt[got - 1] = head;
+          head = got;
+        }
+      }
+    }
+    k = k + 1;
+  }
+}
+
+void main() {
+  int t1, t2, t3;
+  nxt[0] = 2;
+  nxt[1] = 0;
+  head = 1;
+  t1 = create(worker);
+  t2 = create(worker);
+  t3 = create(worker);
+  join(t1);
+  join(t2);
+  join(t3);
+  assert(dup == 0);
+}
+`
+
+// Safestack returns the re-modelled safestack program.
+func Safestack() *prog.Program {
+	return mustParse("safestack", safestackSrc)
+}
+
+// SafestackBench returns the benchmark with metadata; BugContexts is the
+// estimated depth at which the ABA violation becomes reachable (beyond
+// the benchmarked bounds, as in the paper).
+func SafestackBench() Benchmark {
+	return Benchmark{
+		Name:        "safestack",
+		Program:     Safestack(),
+		Threads:     4,
+		Lines:       countLines(safestackSrc),
+		BugUnwind:   2,
+		BugContexts: 10,
+	}
+}

@@ -1,0 +1,256 @@
+package bench
+
+import "repro/prog"
+
+// boundedbufferFixedSrc repairs the bounded buffer: the fill-level test
+// moves inside the critical section, closing the
+// time-of-check-to-time-of-use window. Safe at every bound.
+const boundedbufferFixedSrc = `
+mutex m;
+int count;
+int buf[2];
+int oflow;
+int got;
+
+void producer(int v) {
+  int k = 0;
+  while (k < 2) {
+    lock(m);
+    if (count < 1) {
+      buf[count] = v;
+      count = count + 1;
+      if (count > 1) {
+        oflow = 1;
+      }
+    }
+    unlock(m);
+    k = k + 1;
+  }
+}
+
+void consumer() {
+  int tries = 0;
+  while (tries < 2) {
+    lock(m);
+    if (count > 0) {
+      count = count - 1;
+      got = got + 1;
+    }
+    unlock(m);
+    tries = tries + 1;
+  }
+}
+
+void main() {
+  int t1, t2, t3;
+  t1 = create(producer, 1);
+  t2 = create(producer, 2);
+  t3 = create(consumer);
+  join(t1);
+  join(t2);
+  join(t3);
+  assert(oflow == 0);
+}
+`
+
+// BoundedbufferFixed returns the repaired bounded buffer.
+func BoundedbufferFixed() *prog.Program {
+	return mustParse("boundedbuffer-fixed", boundedbufferFixedSrc)
+}
+
+// workstealingqueueFixedSrc repairs the Chase–Lev deque: the owner's
+// take of the last element arbitrates against thieves with the same
+// top-CAS the thieves use, so a task can never execute twice.
+const workstealingqueueFixedSrc = `
+int top, bottom;
+int task[4];
+int execd[4];
+int dup;
+
+void owner() {
+  int b;
+  int t;
+  int k = 0;
+  while (k < 2) {
+    b = bottom;
+    task[b] = k + 1;
+    bottom = b + 1;
+    k = k + 1;
+  }
+  k = 0;
+  while (k < 2) {
+    b = bottom - 1;
+    bottom = b;
+    t = top;
+    if (t < b) {
+      atomic {
+        execd[b] = execd[b] + 1;
+        if (execd[b] > 1) {
+          dup = 1;
+        }
+      }
+    } else {
+      if (t == b) {
+        atomic {
+          if (top == t) {
+            top = t + 1;
+            execd[b] = execd[b] + 1;
+            if (execd[b] > 1) {
+              dup = 1;
+            }
+          }
+        }
+        bottom = b + 1;
+      } else {
+        bottom = b + 1;
+      }
+    }
+    k = k + 1;
+  }
+}
+
+void thief() {
+  int t;
+  int b;
+  t = top;
+  b = bottom;
+  if (t < b) {
+    atomic {
+      if (top == t) {
+        top = t + 1;
+        execd[t] = execd[t] + 1;
+        if (execd[t] > 1) {
+          dup = 1;
+        }
+      }
+    }
+  }
+}
+
+void main() {
+  int t1, t2, t3;
+  t1 = create(owner);
+  t2 = create(thief);
+  t3 = create(thief);
+  join(t1);
+  join(t2);
+  join(t3);
+  assert(dup == 0);
+}
+`
+
+// WorkstealingqueueFixed returns the repaired work-stealing queue.
+func WorkstealingqueueFixed() *prog.Program {
+	return mustParse("workstealingqueue-fixed", workstealingqueueFixedSrc)
+}
+
+// eliminationstackUnsafeSrc widens the elimination stack to three
+// pushers and two poppers — the configuration in which the
+// time-of-check-to-time-of-use race on the elimination slot becomes
+// reachable (mirroring the original bug's requirement of three pushes
+// concurrent with the pops). Two pushers must fail their stack CAS
+// (which needs the third pusher and a popper to move the top under
+// them), observe the empty slot, and overwrite one another's deposit;
+// main's conservation assertion then fails. The interleaving needs ten
+// execution contexts (verified: the encoder finds and replay-validates
+// the race at u=2, c=10 in minutes, while every benchmarked bound stays
+// safe) — as in the paper, where no tool reached the elimination-stack
+// bug within the evaluated bounds.
+const eliminationstackUnsafeSrc = `
+int top;
+int stk[4];
+int elim;
+int pushed, popped, taken;
+
+void pusher(int v) {
+  int t;
+  int c;
+  int done = 0;
+  int k = 0;
+  while (k < 2) {
+    if (done == 0) {
+      t = top;
+      atomic {
+        if (top == t) {
+          stk[t] = v;
+          top = t + 1;
+          pushed = pushed + 1;
+          done = 1;
+        }
+      }
+      if (done == 0) {
+        c = elim;
+        if (c == 0) {
+          atomic {
+            elim = v;
+            pushed = pushed + 1;
+            done = 1;
+          }
+        }
+      }
+    }
+    k = k + 1;
+  }
+}
+
+void popper() {
+  int t;
+  int v = 0;
+  int done = 0;
+  int k = 0;
+  while (k < 2) {
+    if (done == 0) {
+      t = top;
+      if (t > 0) {
+        atomic {
+          if (top == t) {
+            v = stk[t - 1];
+            top = t - 1;
+            popped = popped + 1;
+            done = 1;
+          }
+        }
+      } else {
+        atomic {
+          if (elim != 0) {
+            v = elim;
+            elim = 0;
+            popped = popped + 1;
+            taken = taken + 1;
+            done = 1;
+          }
+        }
+      }
+      if (done == 1) {
+        assert(v > 0);
+      }
+    }
+    k = k + 1;
+  }
+}
+
+void main() {
+  int t1, t2, t3, t4, t5;
+  int e = 0;
+  t1 = create(pusher, 1);
+  t2 = create(pusher, 2);
+  t3 = create(pusher, 3);
+  t4 = create(popper);
+  t5 = create(popper);
+  join(t1);
+  join(t2);
+  join(t3);
+  join(t4);
+  join(t5);
+  if (elim != 0) {
+    e = 1;
+  }
+  assert(pushed - popped == top + e);
+}
+`
+
+// EliminationstackUnsafe returns the three-pusher configuration with
+// the reachable elimination-slot race.
+func EliminationstackUnsafe() *prog.Program {
+	return mustParse("eliminationstack-unsafe", eliminationstackUnsafeSrc)
+}

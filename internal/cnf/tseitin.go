@@ -1,0 +1,196 @@
+package cnf
+
+// Builder incrementally constructs a CNF formula via Tseitin encoding of
+// Boolean gates. It provides constant literals, structural hashing of
+// gates, and small-gate simplifications, so that identical sub-circuits
+// share propositional variables.
+type Builder struct {
+	F *Formula
+
+	trueLit Lit // literal constrained to be true
+
+	andCache map[[2]Lit]Lit
+	xorCache map[[2]Lit]Lit
+}
+
+// NewBuilder returns a Builder over a fresh formula with a dedicated
+// constant-true variable.
+func NewBuilder() *Builder {
+	b := &Builder{
+		F:        New(),
+		andCache: make(map[[2]Lit]Lit),
+		xorCache: make(map[[2]Lit]Lit),
+	}
+	b.trueLit = PosLit(b.F.NewVar())
+	b.F.AddUnit(b.trueLit)
+	return b
+}
+
+// True returns the constant-true literal.
+func (b *Builder) True() Lit { return b.trueLit }
+
+// False returns the constant-false literal.
+func (b *Builder) False() Lit { return b.trueLit.Not() }
+
+// Fresh allocates a fresh unconstrained literal.
+func (b *Builder) Fresh() Lit { return PosLit(b.F.NewVar()) }
+
+// IsConst reports whether l is one of the builder's constant literals,
+// and its value if so.
+func (b *Builder) IsConst(l Lit) (value, ok bool) {
+	switch l {
+	case b.trueLit:
+		return true, true
+	case b.trueLit.Not():
+		return false, true
+	}
+	return false, false
+}
+
+// Not returns the complement of l.
+func (b *Builder) Not(l Lit) Lit { return l.Not() }
+
+// And returns a literal equivalent to x ∧ y.
+func (b *Builder) And(x, y Lit) Lit {
+	// Constant folding and trivial cases.
+	if x == b.False() || y == b.False() || x == y.Not() {
+		return b.False()
+	}
+	if x == b.True() {
+		return y
+	}
+	if y == b.True() || x == y {
+		return x
+	}
+	key := orderPair(x, y)
+	if g, ok := b.andCache[key]; ok {
+		return g
+	}
+	g := b.Fresh()
+	// g ↔ x ∧ y
+	b.F.AddClause(g.Not(), x)
+	b.F.AddClause(g.Not(), y)
+	b.F.AddClause(g, x.Not(), y.Not())
+	b.andCache[key] = g
+	return g
+}
+
+// Or returns a literal equivalent to x ∨ y.
+func (b *Builder) Or(x, y Lit) Lit {
+	return b.And(x.Not(), y.Not()).Not()
+}
+
+// Xor returns a literal equivalent to x ⊕ y.
+func (b *Builder) Xor(x, y Lit) Lit {
+	if x == b.False() {
+		return y
+	}
+	if y == b.False() {
+		return x
+	}
+	if x == b.True() {
+		return y.Not()
+	}
+	if y == b.True() {
+		return x.Not()
+	}
+	if x == y {
+		return b.False()
+	}
+	if x == y.Not() {
+		return b.True()
+	}
+	// Canonicalise on positive phases: x⊕y == ¬x⊕¬y, ¬(x⊕¬y), ...
+	flip := false
+	if x.Neg() {
+		x = x.Not()
+		flip = !flip
+	}
+	if y.Neg() {
+		y = y.Not()
+		flip = !flip
+	}
+	key := orderPair(x, y)
+	g, ok := b.xorCache[key]
+	if !ok {
+		g = b.Fresh()
+		// g ↔ x ⊕ y
+		b.F.AddClause(g.Not(), x, y)
+		b.F.AddClause(g.Not(), x.Not(), y.Not())
+		b.F.AddClause(g, x, y.Not())
+		b.F.AddClause(g, x.Not(), y)
+		b.xorCache[key] = g
+	}
+	if flip {
+		return g.Not()
+	}
+	return g
+}
+
+// Xnor returns a literal equivalent to x ↔ y.
+func (b *Builder) Xnor(x, y Lit) Lit { return b.Xor(x, y).Not() }
+
+// Ite returns a literal equivalent to cond ? t : e.
+func (b *Builder) Ite(cond, t, e Lit) Lit {
+	if cond == b.True() {
+		return t
+	}
+	if cond == b.False() {
+		return e
+	}
+	if t == e {
+		return t
+	}
+	if t == e.Not() {
+		return b.Xnor(cond, t)
+	}
+	if t == b.True() {
+		return b.Or(cond, e)
+	}
+	if t == b.False() {
+		return b.And(cond.Not(), e)
+	}
+	if e == b.True() {
+		return b.Or(cond.Not(), t)
+	}
+	if e == b.False() {
+		return b.And(cond, t)
+	}
+	return b.Or(b.And(cond, t), b.And(cond.Not(), e))
+}
+
+// Implies returns a literal equivalent to x → y.
+func (b *Builder) Implies(x, y Lit) Lit { return b.Or(x.Not(), y) }
+
+// AndAll folds And over the literals; an empty list yields true.
+func (b *Builder) AndAll(lits ...Lit) Lit {
+	out := b.True()
+	for _, l := range lits {
+		out = b.And(out, l)
+	}
+	return out
+}
+
+// OrAll folds Or over the literals; an empty list yields false.
+func (b *Builder) OrAll(lits ...Lit) Lit {
+	out := b.False()
+	for _, l := range lits {
+		out = b.Or(out, l)
+	}
+	return out
+}
+
+// Assert constrains l to be true in the formula.
+func (b *Builder) Assert(l Lit) {
+	if l == b.True() {
+		return
+	}
+	b.F.AddUnit(l)
+}
+
+func orderPair(x, y Lit) [2]Lit {
+	if x > y {
+		x, y = y, x
+	}
+	return [2]Lit{x, y}
+}

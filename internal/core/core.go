@@ -1,0 +1,337 @@
+// Package core ties the whole toolchain together into the paper's
+// parallel bounded model checking workflow (Sect. 3.3):
+//
+//	program → unfold(u) → flatten → encode(contexts) → partition(2^p)
+//	        → parallel solve (first SAT wins) → decode + validate trace
+//
+// It is the programmatic equivalent of the paper's prototype command
+// line (Sect. 3.4): unwind bound, context bound, number of cores, and an
+// optional partition subrange for distribution over multiple machines.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bv"
+	"repro/internal/cnf"
+	"repro/internal/flatten"
+	"repro/internal/interp"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/sat"
+	"repro/internal/trace"
+	"repro/internal/unfold"
+	"repro/internal/vc"
+	"repro/prog"
+)
+
+// Verdict is the analysis outcome.
+type Verdict int
+
+const (
+	// Unknown means the analysis was cancelled or hit a budget.
+	Unknown Verdict = iota
+	// Safe means no assertion violation exists within the bounds.
+	Safe
+	// Unsafe means a reachable assertion violation was found.
+	Unsafe
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "SAFE"
+	case Unsafe:
+		return "UNSAFE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Unwind is the loop/recursion unwinding bound (default 1).
+	Unwind int
+	// Contexts is the context bound (context-bounded mode, default 1;
+	// the paper's --contexts is the number of context switches, i.e.
+	// Contexts-1).
+	Contexts int
+	// Rounds, when > 0, selects the original round-robin scheduler with
+	// the given round bound instead of context bounding (ablation mode).
+	Rounds int
+	// Width is the integer bit width (default 8).
+	Width int
+	// Cores is the number of solver instances running concurrently
+	// (default 1).
+	Cores int
+	// Partitions is the number of trace-space partitions (a power of
+	// two; default max(1, Cores) rounded up to a power of two, capped by
+	// the encoding).
+	Partitions int
+	// From/To restrict the analysis to the half-open partition index
+	// range [From, To) (distributed mode); From = To = 0 means all.
+	From, To int
+	// MaxThreads bounds static thread instances during unfolding.
+	MaxThreads int
+	// ZeroLocals zero-initialises locals (differential-testing mode).
+	ZeroLocals bool
+	// Solver configures the CDCL instances.
+	Solver sat.Options
+	// SkipValidation disables counterexample replay validation.
+	SkipValidation bool
+	// SimulateParallel computes the parallel wall time by deterministic
+	// makespan simulation over sequentially measured per-partition solve
+	// times instead of actually running Cores goroutines. Exact for this
+	// technique (solvers do not cooperate); intended for hosts with fewer
+	// physical cores than Cores. See parallel.Simulate.
+	SimulateParallel bool
+	// CertifyUnsat checks a clausal refutation proof for every UNSAT
+	// partition, so Safe verdicts are certified independently of the
+	// search (with Preprocess, the certificate covers the simplified
+	// formula). The counterpart of counterexample replay validation.
+	CertifyUnsat bool
+	// Preprocess runs the MiniSat-style simplifier (subsumption,
+	// self-subsuming resolution, bounded variable elimination) on the
+	// formula before partitioning, freezing every variable needed for
+	// partitioning and counterexample decoding; models are reconstructed
+	// through the elimination trail. This matches the paper's solver
+	// configuration ("MiniSat 2.2.1 with simplifier", Sect. 3.4).
+	Preprocess bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Unwind == 0 {
+		o.Unwind = 1
+	}
+	if o.Contexts == 0 && o.Rounds == 0 {
+		o.Contexts = 1
+	}
+	if o.Width == 0 {
+		o.Width = 8
+	}
+	if o.Cores == 0 {
+		o.Cores = 1
+	}
+}
+
+// Result reports the analysis outcome and its cost metrics, mirroring
+// the columns of Table 2 in the paper.
+type Result struct {
+	// Verdict is SAFE / UNSAFE / UNKNOWN.
+	Verdict Verdict
+	// Trace is the decoded counterexample (Verdict == Unsafe).
+	Trace *trace.Trace
+	// Violation is the replayed assertion failure (Verdict == Unsafe,
+	// validation enabled).
+	Violation *interp.Violation
+
+	// Vars and Clauses are the propositional formula size.
+	Vars, Clauses int
+	// Threads is the number of static thread instances.
+	Threads int
+	// ThreadProcs names the source procedure of each static thread.
+	ThreadProcs []string
+	// Partitions is the number of partitions actually analysed.
+	Partitions int
+	// Winner is the partition that found the bug (-1 if none).
+	Winner int
+
+	// EncodeTime and SolveTime split the wall-clock cost.
+	EncodeTime time.Duration
+	SolveTime  time.Duration
+
+	// Instances are the per-partition solver results.
+	Instances []parallel.InstanceResult
+	// Certified reports that every UNSAT partition carried a checked
+	// refutation proof (CertifyUnsat only).
+	Certified bool
+}
+
+// Verify runs the full pipeline on a checked program.
+func Verify(ctx context.Context, p *prog.Program, opts Options) (*Result, error) {
+	opts.setDefaults()
+
+	enc, fp, encodeTime, err := EncodeProgram(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	_ = fp
+
+	parts, err := MakePartitions(enc, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	formula := enc.Formula()
+	var simplifier *sat.Simplifier
+	var preDecided sat.Status
+	if opts.Preprocess {
+		simplifier = sat.NewSimplifier()
+		simplifier.FreezeLits(protectedLits(enc)...)
+		simplified, st := simplifier.Simplify(formula)
+		preDecided = st
+		formula = simplified
+	}
+
+	popts := parallel.Options{Workers: opts.Cores, Solver: opts.Solver, CertifyUnsat: opts.CertifyUnsat}
+	var pres *parallel.Result
+	switch preDecided {
+	case sat.Unsat:
+		// The whole formula is refuted by preprocessing alone: every
+		// partition is unsatisfiable.
+		pres = &parallel.Result{Status: sat.Unsat, Winner: -1}
+	case sat.Sat:
+		// Only unit clauses remain: satisfiable regardless of the
+		// partition; build the model from the units.
+		model := make([]bool, enc.Formula().NumVars)
+		for _, c := range formula.Clauses {
+			if len(c) == 1 {
+				model[c[0].Var()-1] = !c[0].Neg()
+			}
+		}
+		pres = &parallel.Result{Status: sat.Sat, Winner: 0, Model: model}
+	default:
+		if opts.SimulateParallel {
+			pres, err = parallel.Simulate(ctx, formula, parts, popts)
+		} else {
+			pres, err = parallel.Solve(ctx, formula, parts, popts)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if simplifier != nil && pres.Status == sat.Sat {
+		model := pres.Model
+		if len(model) < enc.Formula().NumVars {
+			grown := make([]bool, enc.Formula().NumVars)
+			copy(grown, model)
+			model = grown
+		}
+		pres.Model = simplifier.ReconstructModel(model)
+	}
+
+	procs := make([]string, len(enc.Program.Threads))
+	for i, th := range enc.Program.Threads {
+		procs[i] = th.Proc
+	}
+	res := &Result{
+		Certified:   pres.Certified,
+		Vars:        formula.NumVars,
+		Clauses:     formula.NumClauses(),
+		Threads:     len(enc.Program.Threads),
+		ThreadProcs: procs,
+		Partitions:  len(parts),
+		Winner:      pres.Winner,
+		EncodeTime:  encodeTime,
+		SolveTime:   pres.Wall,
+		Instances:   pres.Instances,
+	}
+	switch pres.Status {
+	case sat.Sat:
+		res.Verdict = Unsafe
+		res.Trace = trace.Decode(enc, pres.Model)
+		if !opts.SkipValidation {
+			viol, err := trace.Validate(enc, res.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("core: counterexample validation failed: %w", err)
+			}
+			res.Violation = viol
+		}
+	case sat.Unsat:
+		res.Verdict = Safe
+	default:
+		res.Verdict = Unknown
+	}
+	return res, nil
+}
+
+// EncodeProgram runs the front half of the pipeline (unfold, flatten,
+// encode) and returns the encoded formula. Exposed for the benchmark
+// harness, which reuses one encoding across many solver configurations.
+func EncodeProgram(p *prog.Program, opts Options) (*vc.Encoded, *flatten.Program, time.Duration, error) {
+	opts.setDefaults()
+	start := time.Now()
+	up, err := unfold.Unfold(p, unfold.Options{Unwind: opts.Unwind, MaxThreads: opts.MaxThreads})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	fp, err := flatten.Flatten(up)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	vopts := vc.Options{
+		Width:      opts.Width,
+		ZeroLocals: opts.ZeroLocals,
+	}
+	if opts.Rounds > 0 {
+		vopts.Mode = vc.RoundRobin
+		vopts.Rounds = opts.Rounds
+	} else {
+		vopts.Contexts = opts.Contexts
+	}
+	enc, err := vc.Encode(fp, vopts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return enc, fp, time.Since(start), nil
+}
+
+// MakePartitions builds the partition list for the encoded formula,
+// applying the Partitions/Cores defaulting and the From/To subrange.
+func MakePartitions(enc *vc.Encoded, opts Options) ([]partition.Partition, error) {
+	opts.setDefaults()
+	nparts := opts.Partitions
+	if nparts == 0 {
+		nparts = 1
+		for nparts < opts.Cores {
+			nparts *= 2
+		}
+	}
+	if max := partition.MaxPartitions(enc); nparts > max {
+		nparts = max
+	}
+	parts, err := partition.Make(enc, nparts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.From != 0 || opts.To != 0 {
+		if opts.From < 0 || opts.From >= opts.To || opts.To > len(parts) {
+			return nil, fmt.Errorf("core: invalid partition range [%d,%d) of %d", opts.From, opts.To, len(parts))
+		}
+		parts = parts[opts.From:opts.To]
+	}
+	return parts, nil
+}
+
+// protectedLits collects every literal whose variable must survive
+// preprocessing: the partitioning variables plus everything the trace
+// decoder reads (scheduler words, non-deterministic inputs, initial
+// locals).
+func protectedLits(enc *vc.Encoded) []cnf.Lit {
+	var out []cnf.Lit
+	addVec := func(v bv.Vec) {
+		for _, l := range v {
+			out = append(out, l)
+		}
+	}
+	for _, v := range enc.TidVecs {
+		addVec(v)
+	}
+	for _, v := range enc.CsVecs {
+		addVec(v)
+	}
+	for _, v := range enc.Nondet {
+		addVec(v)
+	}
+	for _, v := range enc.InitScalars {
+		addVec(v)
+	}
+	for _, vs := range enc.InitArrays {
+		for _, v := range vs {
+			addVec(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/prog"
+)
+
+// CoordinatorOptions configures a distributed analysis.
+type CoordinatorOptions struct {
+	// Unwind, Contexts, Width are the analysis bounds.
+	Unwind, Contexts, Width int
+	// Partitions is the total partition count (power of two).
+	Partitions int
+	// ChunkSize is the number of partitions per work unit (default:
+	// Partitions / 8, at least 1).
+	ChunkSize int
+	// JobTimeout bounds one worker job; an expired job is reassigned
+	// (default 10 minutes).
+	JobTimeout time.Duration
+}
+
+// CoordinatorResult aggregates a distributed run.
+type CoordinatorResult struct {
+	// Verdict is the overall outcome.
+	Verdict core.Verdict
+	// Winner is the partition index containing the bug (-1).
+	Winner int
+	// Jobs counts work units completed (including reassignments).
+	Jobs int
+	// Reassigned counts chunks that had to be handed to another worker
+	// after a failure.
+	Reassigned int
+	// Wall is the overall time.
+	Wall time.Duration
+}
+
+// Coordinate serves the analysis of program p over the workers that
+// connect to ln. It returns when every chunk is refuted (Safe), a worker
+// reports a counterexample (Unsafe: all other workers receive stop), or
+// the context is cancelled.
+func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts CoordinatorOptions) (*CoordinatorResult, error) {
+	if opts.Partitions < 1 {
+		return nil, fmt.Errorf("distrib: partition count must be >= 1")
+	}
+	if opts.ChunkSize == 0 {
+		opts.ChunkSize = opts.Partitions / 8
+		if opts.ChunkSize < 1 {
+			opts.ChunkSize = 1
+		}
+	}
+	if opts.JobTimeout == 0 {
+		opts.JobTimeout = 10 * time.Minute
+	}
+	source := prog.Format(p)
+	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
+
+	start := time.Now()
+	res := &CoordinatorResult{Verdict: core.Safe, Winner: -1}
+
+	var mu sync.Mutex
+	pending := make(chan partition.Chunk, len(chunks))
+	for _, ch := range chunks {
+		pending <- ch
+	}
+	remaining := len(chunks)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+
+	// Stop accepting when finished.
+	go func() {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			finish()
+		}
+		ln.Close()
+	}()
+
+	var wg sync.WaitGroup
+	jobID := 0
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			break // listener closed: finished or cancelled
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc := newConn(c, 30*time.Second)
+			defer wc.close()
+			if hello, err := wc.recv(30 * time.Second); err != nil || hello.Type != "hello" {
+				return
+			}
+			for {
+				var chunk partition.Chunk
+				select {
+				case chunk = <-pending:
+				case <-done:
+					_ = wc.send(&Message{Type: "stop"})
+					return
+				}
+				mu.Lock()
+				jobID++
+				id := jobID
+				mu.Unlock()
+				job := &Message{
+					Type: "job", JobID: id, Source: source,
+					Unwind: opts.Unwind, Contexts: opts.Contexts, Width: opts.Width,
+					Partitions: opts.Partitions, From: chunk.From, To: chunk.To,
+				}
+				if err := wc.send(job); err != nil {
+					pending <- chunk // reassign
+					mu.Lock()
+					res.Reassigned++
+					mu.Unlock()
+					return
+				}
+				reply, err := wc.recv(opts.JobTimeout)
+				if err != nil || reply.Type != "result" || reply.Error != "" {
+					pending <- chunk // worker failed: reassign
+					mu.Lock()
+					res.Reassigned++
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				res.Jobs++
+				switch reply.Verdict {
+				case core.Unsafe.String():
+					res.Verdict = core.Unsafe
+					res.Winner = reply.Winner
+					mu.Unlock()
+					finish()
+					_ = wc.send(&Message{Type: "stop"})
+					return
+				case core.Safe.String():
+					remaining--
+					if remaining == 0 {
+						mu.Unlock()
+						finish()
+						_ = wc.send(&Message{Type: "stop"})
+						return
+					}
+				default:
+					// Unknown (e.g. worker-side cancellation): reassign.
+					pending <- chunk
+					res.Reassigned++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil && res.Verdict == core.Safe {
+		mu.Lock()
+		if remaining > 0 {
+			res.Verdict = core.Unknown
+		}
+		mu.Unlock()
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package distrib
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/prog"
+)
+
+const fibSrc = `
+int i, j;
+void t1() {
+  int k = 0;
+  while (k < 1) { i = i + j; k = k + 1; }
+}
+void t2() {
+  int k = 0;
+  while (k < 1) { j = j + i; k = k + 1; }
+}
+void main() {
+  int tid1, tid2;
+  i = 1;
+  j = 1;
+  tid1 = create(t1);
+  tid2 = create(t2);
+  join(tid1);
+  join(tid2);
+  assert(j < 3);
+  assert(i < 3);
+}
+`
+
+func TestSimulateClusterUnsafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	res, err := SimulateCluster(context.Background(), p,
+		core.Options{Unwind: 1, Contexts: 4}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Unsafe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.MaxChunkTime == 0 {
+		t.Fatal("no chunk time recorded")
+	}
+}
+
+func TestSimulateClusterSafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	res, err := SimulateCluster(context.Background(), p,
+		core.Options{Unwind: 1, Contexts: 3}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if len(res.Chunks) != 2 {
+		t.Fatalf("chunks: %d", len(res.Chunks))
+	}
+	for _, ch := range res.Chunks {
+		if ch.Verdict != core.Safe {
+			t.Fatalf("chunk %v: %v", ch.Chunk, ch.Verdict)
+		}
+	}
+}
+
+func startCoordinator(t *testing.T, p *prog.Program, opts CoordinatorOptions) (string, <-chan *CoordinatorResult) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan *CoordinatorResult, 1)
+	go func() {
+		res, err := Coordinate(context.Background(), ln, p, opts)
+		if err != nil {
+			t.Errorf("coordinator: %v", err)
+		}
+		ch <- res
+	}()
+	return ln.Addr().String(), ch
+}
+
+func TestDistributedUnsafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 4, Partitions: 8, ChunkSize: 2,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = Work(context.Background(), addr, WorkerOptions{Name: "w", Cores: 1})
+		}(i)
+	}
+	res := <-resCh
+	wg.Wait()
+	if res.Verdict != core.Unsafe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Winner < 0 || res.Winner >= 8 {
+		t.Fatalf("winner %d", res.Winner)
+	}
+}
+
+func TestDistributedSafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 1,
+	})
+	var jobs int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := Work(context.Background(), addr, WorkerOptions{Cores: 1})
+			if err != nil {
+				t.Errorf("worker: %v", err)
+			}
+			mu.Lock()
+			jobs += n
+			mu.Unlock()
+		}()
+	}
+	res := <-resCh
+	wg.Wait()
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if jobs != 4 {
+		t.Fatalf("jobs completed: %d, want 4", jobs)
+	}
+	if res.Jobs != 4 {
+		t.Fatalf("coordinator jobs: %d", res.Jobs)
+	}
+}
+
+func TestDistributedWorkerFailureReassigned(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 1,
+	})
+	// The first worker dies after one job; a healthy worker joins later
+	// and must pick up the abandoned chunks.
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{FailAfterJobs: 1, Cores: 1})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{Cores: 1})
+	}()
+	select {
+	case res := <-resCh:
+		if res.Verdict != core.Safe {
+			t.Fatalf("verdict %v", res.Verdict)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed run did not finish after worker failure")
+	}
+}
+
+func TestDistributedBenchmarkProgram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	b := bench.BoundedbufferBench()
+	addr, resCh := startCoordinator(t, b.Program, CoordinatorOptions{
+		Unwind: 2, Contexts: 6, Partitions: 8, ChunkSize: 4,
+	})
+	for i := 0; i < 2; i++ {
+		go func() { _, _ = Work(context.Background(), addr, WorkerOptions{Cores: 2}) }()
+	}
+	res := <-resCh
+	if res.Verdict != core.Unsafe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+func TestWorkerDialError(t *testing.T) {
+	_, err := Work(context.Background(), "127.0.0.1:1", WorkerOptions{})
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}

@@ -1,0 +1,86 @@
+package distrib
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Message is the JSON wire format exchanged between coordinator and
+// workers, one message per line.
+type Message struct {
+	// Type is "hello", "job", "result", or "stop".
+	Type string `json:"type"`
+
+	// Hello fields.
+	WorkerName string `json:"worker_name,omitempty"`
+	Cores      int    `json:"cores,omitempty"`
+
+	// Job fields: the program source plus the analysis parameters and
+	// the partition range (the paper's --from/--to interface).
+	JobID      int    `json:"job_id,omitempty"`
+	Source     string `json:"source,omitempty"`
+	Unwind     int    `json:"unwind,omitempty"`
+	Contexts   int    `json:"contexts,omitempty"`
+	Width      int    `json:"width,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	From       int    `json:"from"`
+	To         int    `json:"to"`
+
+	// Result fields.
+	Verdict string `json:"verdict,omitempty"`
+	Winner  int    `json:"winner,omitempty"`
+	Millis  int64  `json:"millis,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// conn wraps a TCP connection with line-delimited JSON framing.
+type conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+	to time.Duration
+}
+
+func newConn(c net.Conn, timeout time.Duration) *conn {
+	return &conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c), to: timeout}
+}
+
+func (c *conn) send(m *Message) error {
+	if c.to > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.to)); err != nil {
+			return err
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *conn) recv(timeout time.Duration) (*Message, error) {
+	if timeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	} else if err := c.c.SetReadDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("distrib: malformed message: %w", err)
+	}
+	return &m, nil
+}
+
+func (c *conn) close() { c.c.Close() }

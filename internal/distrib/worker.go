@@ -1,0 +1,109 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/prog"
+)
+
+// WorkerOptions configures a worker process.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Cores is the number of solver instances per job (default 1).
+	Cores int
+	// FailAfterJobs, when > 0, makes the worker drop the connection
+	// after completing that many jobs (failure injection for tests).
+	FailAfterJobs int
+}
+
+// Work connects to the coordinator at addr and processes jobs until the
+// coordinator sends stop, the connection closes, or ctx is cancelled.
+// It returns the number of jobs completed.
+func Work(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
+	if opts.Cores == 0 {
+		opts.Cores = 1
+	}
+	d := net.Dialer{Timeout: 10 * time.Second}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("distrib: worker dial: %w", err)
+	}
+	wc := newConn(c, 30*time.Second)
+	defer wc.close()
+
+	// Cancellation: closing the connection unblocks recv.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			wc.close()
+		case <-stop:
+		}
+	}()
+
+	if err := wc.send(&Message{Type: "hello", WorkerName: opts.Name, Cores: opts.Cores}); err != nil {
+		return 0, err
+	}
+	jobs := 0
+	for {
+		m, err := wc.recv(0)
+		if err != nil {
+			if ctx.Err() != nil {
+				return jobs, ctx.Err()
+			}
+			return jobs, err
+		}
+		switch m.Type {
+		case "stop":
+			return jobs, nil
+		case "job":
+			if opts.FailAfterJobs > 0 && jobs >= opts.FailAfterJobs {
+				return jobs, fmt.Errorf("distrib: injected worker failure")
+			}
+			reply := runJob(ctx, m, opts.Cores)
+			if err := wc.send(reply); err != nil {
+				return jobs, err
+			}
+			jobs++
+		default:
+			return jobs, fmt.Errorf("distrib: unexpected message %q", m.Type)
+		}
+	}
+}
+
+func runJob(ctx context.Context, m *Message, cores int) *Message {
+	reply := &Message{Type: "result", JobID: m.JobID, Winner: -1}
+	p, err := prog.Parse(m.Source)
+	if err != nil {
+		reply.Error = err.Error()
+		return reply
+	}
+	start := time.Now()
+	res, err := core.Verify(ctx, p, core.Options{
+		Unwind:     m.Unwind,
+		Contexts:   m.Contexts,
+		Width:      m.Width,
+		Cores:      cores,
+		Partitions: m.Partitions,
+		From:       m.From,
+		To:         m.To + 1,
+	})
+	reply.Millis = time.Since(start).Milliseconds()
+	if err != nil {
+		reply.Error = err.Error()
+		return reply
+	}
+	reply.Verdict = res.Verdict.String()
+	if res.Verdict == core.Unsafe {
+		// res.Winner is the absolute partition index (the partition list
+		// keeps its original indices across the subrange).
+		reply.Winner = res.Winner
+	}
+	return reply
+}

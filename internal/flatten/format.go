@@ -1,0 +1,69 @@
+package flatten
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format renders the flattened program in a human-readable form
+// mirroring the paper's Fig. 3: one section per thread simulation
+// function, statements grouped into numbered blocks (the context-switch
+// granularity), with guard annotations from the if-conversion.
+func Format(w io.Writer, p *Program) error {
+	for _, g := range p.Globals {
+		if _, err := fmt.Fprintf(w, "shared %s %s;\n", g.Type, g.Name); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.Threads {
+		if _, err := fmt.Fprintf(w, "\nthread %d (%s), size %d:\n", t.ID, t.Proc, t.Size()); err != nil {
+			return err
+		}
+		for bi, blk := range t.Blocks {
+			if _, err := fmt.Fprintf(w, "  block %d:\n", bi); err != nil {
+				return err
+			}
+			for _, st := range blk {
+				if _, err := fmt.Fprintf(w, "    %s\n", formatStep(st)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func formatStep(st Step) string {
+	var b strings.Builder
+	if len(st.Guards) > 0 {
+		parts := make([]string, len(st.Guards))
+		for i, g := range st.Guards {
+			parts[i] = g.String()
+		}
+		fmt.Fprintf(&b, "[%s] ", strings.Join(parts, " && "))
+	}
+	switch op := st.Op.(type) {
+	case *AssignOp:
+		fmt.Fprintf(&b, "%s = %s", op.LHS, op.RHS)
+	case *AssumeOp:
+		fmt.Fprintf(&b, "assume(%s)", op.Cond)
+	case *AssertOp:
+		fmt.Fprintf(&b, "assert(%s)", op.Cond)
+	case *LockOp:
+		fmt.Fprintf(&b, "lock(%s)", op.Mutex)
+	case *UnlockOp:
+		fmt.Fprintf(&b, "unlock(%s)", op.Mutex)
+	case *CreateOp:
+		args := make([]string, len(op.Args))
+		for i, a := range op.Args {
+			args[i] = fmt.Sprintf("%s:=%s", a.Dest, a.Src)
+		}
+		fmt.Fprintf(&b, "%s = create(thread %d; %s)", op.Tid, op.Target, strings.Join(args, ", "))
+	case *JoinOp:
+		fmt.Fprintf(&b, "join(%s)", op.Tid)
+	default:
+		fmt.Fprintf(&b, "%v", st.Op)
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+// Package parallel runs independent SAT solver instances over the
+// partitioned sub-formulae (Sect. 3.3/3.4): one decision procedure per
+// partition, no cooperation, first satisfiable assignment wins and
+// terminates the others; if every instance reports unsatisfiable, the
+// program is safe within the bounds.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/partition"
+	"repro/internal/sat"
+)
+
+// InstanceResult records one solver instance's outcome.
+type InstanceResult struct {
+	// Partition is the partition index solved.
+	Partition int
+	// Status is the instance verdict (Unknown if cancelled).
+	Status sat.Status
+	// Time is the instance's wall-clock solving time.
+	Time time.Duration
+	// Stats are the solver search statistics.
+	Stats sat.Stats
+}
+
+// Result is the aggregate outcome.
+type Result struct {
+	// Status is Sat if any partition is satisfiable, Unsat if all are
+	// unsatisfiable, Unknown if cancelled first.
+	Status sat.Status
+	// Model is the satisfying assignment (Status == Sat).
+	Model []bool
+	// Winner is the partition index that found the model (-1 otherwise).
+	Winner int
+	// Instances holds the per-partition results that completed or were
+	// cancelled.
+	Instances []InstanceResult
+	// Wall is the overall wall-clock time.
+	Wall time.Duration
+	// Certified reports that every UNSAT instance's refutation proof
+	// checked (only meaningful with Options.CertifyUnsat).
+	Certified bool
+}
+
+// Options configures the parallel run.
+type Options struct {
+	// Workers bounds the number of concurrently running solver
+	// instances; 0 means one worker per partition.
+	Workers int
+	// Solver configures each underlying CDCL instance.
+	Solver sat.Options
+	// DiversifySeeds gives each instance a distinct RNG seed (only
+	// relevant if Solver.RandomizeFreq > 0).
+	DiversifySeeds bool
+	// CertifyUnsat records a clausal (RUP) proof in every instance and
+	// checks it whenever the instance reports UNSAT, so that Safe
+	// verdicts are certified independently of the CDCL search — the
+	// counterpart of replay-validating counterexamples.
+	CertifyUnsat bool
+}
+
+// Solve checks the formula under each partition's assumptions in
+// parallel. It honours ctx cancellation (returning Unknown).
+func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opts Options) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("parallel: no partitions")
+	}
+	workers := opts.Workers
+	if workers <= 0 || workers > len(parts) {
+		workers = len(parts)
+	}
+
+	start := time.Now()
+	res := &Result{Status: sat.Unsat, Winner: -1}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+
+	// Cancellation: the first SAT result interrupts all live solvers.
+	solveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var live []*sat.Solver
+	certFailed := false
+	interruptAll := func() {
+		mu.Lock()
+		for _, s := range live {
+			s.Interrupt()
+		}
+		mu.Unlock()
+	}
+	go func() {
+		<-solveCtx.Done()
+		interruptAll()
+	}()
+
+	for _, pt := range parts {
+		pt := pt
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-solveCtx.Done():
+				mu.Lock()
+				res.Instances = append(res.Instances, InstanceResult{
+					Partition: pt.Index, Status: sat.Unknown,
+				})
+				mu.Unlock()
+				return
+			}
+			if solveCtx.Err() != nil {
+				mu.Lock()
+				res.Instances = append(res.Instances, InstanceResult{
+					Partition: pt.Index, Status: sat.Unknown,
+				})
+				mu.Unlock()
+				return
+			}
+
+			sOpts := opts.Solver
+			if opts.DiversifySeeds {
+				sOpts.Seed = uint64(pt.Index) + 1
+			}
+			solver := sat.NewFromFormula(f, sOpts)
+			if opts.CertifyUnsat {
+				solver.EnableProof()
+			}
+			mu.Lock()
+			live = append(live, solver)
+			mu.Unlock()
+
+			t0 := time.Now()
+			status, err := solver.Solve(pt.Assumptions...)
+			elapsed := time.Since(t0)
+			if err == sat.ErrInterrupted {
+				status = sat.Unknown
+			}
+			if status == sat.Unsat && opts.CertifyUnsat {
+				if cerr := sat.CheckRUP(f, pt.Assumptions, solver.ProofLog()); cerr != nil {
+					mu.Lock()
+					certFailed = true
+					mu.Unlock()
+				}
+			}
+
+			mu.Lock()
+			res.Instances = append(res.Instances, InstanceResult{
+				Partition: pt.Index,
+				Status:    status,
+				Time:      elapsed,
+				Stats:     solver.Stats(),
+			})
+			if status == sat.Sat && res.Status != sat.Sat {
+				res.Status = sat.Sat
+				res.Model = solver.Model()
+				res.Winner = pt.Index
+				mu.Unlock()
+				cancel() // terminate the other instances
+				return
+			}
+			if status == sat.Unknown && res.Status == sat.Unsat {
+				res.Status = sat.Unknown
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	res.Certified = opts.CertifyUnsat && !certFailed
+	if certFailed {
+		return nil, fmt.Errorf("parallel: an UNSAT refutation proof failed to check")
+	}
+	if res.Status == sat.Sat {
+		// A winning SAT result outranks cancelled siblings.
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		res.Status = sat.Unknown
+		return res, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func TestSimulateMatchesSolveVerdicts(t *testing.T) {
+	// Simulate and Solve must agree on verdict and winner semantics.
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1))
+	f.AddClause(cnf.NegLit(2))
+	f.AddClause(cnf.PosLit(3), cnf.PosLit(4))
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	for _, workers := range []int{1, 2, 4} {
+		sim, err := Simulate(context.Background(), f, parts, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		real, err := Solve(context.Background(), f, parts, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Status != real.Status {
+			t.Fatalf("workers=%d: simulate %v, solve %v", workers, sim.Status, real.Status)
+		}
+		if sim.Status == sat.Sat {
+			// Winner may legitimately differ (scheduling), but both must
+			// name a satisfiable partition with a valid model.
+			assign := make([]bool, f.NumVars+1)
+			copy(assign[1:], sim.Model)
+			if !f.Eval(assign) {
+				t.Fatalf("workers=%d: simulated model invalid", workers)
+			}
+		}
+	}
+}
+
+func TestSimulateUnsatMakespan(t *testing.T) {
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	res, err := Simulate(context.Background(), f, parts, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(res.Instances) != 4 {
+		t.Fatalf("instances %d", len(res.Instances))
+	}
+	// The 2-worker makespan lies between max instance time and the total.
+	var total, max time.Duration
+	for _, in := range res.Instances {
+		total += in.Time
+		if in.Time > max {
+			max = in.Time
+		}
+	}
+	if res.Wall < max || res.Wall > total {
+		t.Fatalf("wall %v outside [max %v, total %v]", res.Wall, max, total)
+	}
+	// With one worker the makespan is exactly the total.
+	res1, err := Simulate(context.Background(), f, parts, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total1 time.Duration
+	for _, in := range res1.Instances {
+		total1 += in.Time
+	}
+	if res1.Wall != total1 {
+		t.Fatalf("1-worker wall %v != total %v", res1.Wall, total1)
+	}
+}
+
+func TestSimulateWinnerIsEarliestFinisher(t *testing.T) {
+	// Partition 3 (x1=1, x2=1) is the only satisfiable one.
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1))
+	f.AddClause(cnf.PosLit(2))
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	res, err := Simulate(context.Background(), f, parts, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat || res.Winner != 3 {
+		t.Fatalf("status %v winner %d", res.Status, res.Winner)
+	}
+	for _, a := range parts[3].Assumptions {
+		val := res.Model[a.Var()-1]
+		if a.Neg() {
+			val = !val
+		}
+		if !val {
+			t.Fatalf("model violates winning assumption %v", a)
+		}
+	}
+}
+
+func TestSimulateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	res, err := Simulate(ctx, f, parts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestSimulateCertify(t *testing.T) {
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	res, err := Simulate(context.Background(), f, parts, Options{Workers: 2, CertifyUnsat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat || !res.Certified {
+		t.Fatalf("status %v certified %v", res.Status, res.Certified)
+	}
+}
+
+func TestSolveCertify(t *testing.T) {
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	res, err := Solve(context.Background(), f, parts, Options{Workers: 2, CertifyUnsat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat || !res.Certified {
+		t.Fatalf("status %v certified %v", res.Status, res.Certified)
+	}
+}
+
+func TestSimulateNoPartitions(t *testing.T) {
+	if _, err := Simulate(context.Background(), cnf.New(), nil, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,105 @@
+// Package partition implements the paper's symbolic partitioning of the
+// interleaving space (Sect. 3.2/3.3): the set of m-context executions is
+// split into 2^p subsets by fixing the polarity of the propositional
+// variables that carry the least-significant bit of the scheduled-thread
+// words tid[1..p] (the first context is pinned to the main thread, so
+// partitioning starts at the second context). Each subset is explored by
+// conjoining the corresponding unit assumptions onto the otherwise
+// unchanged formula.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/vc"
+)
+
+// Partition is one symbolic subset of the execution traces: the original
+// formula plus unit assumptions on the tid LSB variables.
+type Partition struct {
+	// Index identifies the partition: bit j of Index is the polarity
+	// assumed for the LSB of tid[j+1].
+	Index int
+	// Assumptions are the unit literals defining the subset.
+	Assumptions []cnf.Lit
+}
+
+// Make builds `parts` partitions over the encoded formula. parts must be
+// a power of two not exceeding 2^s, where s is the number of symbolic
+// scheduler contexts (contexts minus one in context-bounded mode).
+// parts = 1 yields the single unpartitioned problem.
+func Make(enc *vc.Encoded, parts int) ([]Partition, error) {
+	if parts < 1 || parts&(parts-1) != 0 {
+		return nil, fmt.Errorf("partition: count %d is not a power of two", parts)
+	}
+	var lsbs []cnf.Lit
+	for _, l := range enc.TidLSBs {
+		if l != cnf.LitUndef {
+			lsbs = append(lsbs, l)
+		}
+	}
+	p := 0
+	for 1<<uint(p) < parts {
+		p++
+	}
+	if p > len(lsbs) {
+		return nil, fmt.Errorf("partition: %d partitions need %d symbolic contexts, only %d available",
+			parts, p, len(lsbs))
+	}
+	out := make([]Partition, parts)
+	for i := 0; i < parts; i++ {
+		pt := Partition{Index: i}
+		for j := 0; j < p; j++ {
+			lit := lsbs[j]
+			if i&(1<<uint(j)) == 0 {
+				lit = lit.Not()
+			}
+			pt.Assumptions = append(pt.Assumptions, lit)
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// MaxPartitions returns the largest power-of-two partition count the
+// encoding supports (2^s for s symbolic contexts).
+func MaxPartitions(enc *vc.Encoded) int {
+	s := 0
+	for _, l := range enc.TidLSBs {
+		if l != cnf.LitUndef {
+			s++
+		}
+	}
+	if s > 30 {
+		s = 30
+	}
+	return 1 << uint(s)
+}
+
+// Chunk is a contiguous range of partition indices assigned to one
+// machine for distributed analysis (the paper's --from/--to interface).
+type Chunk struct {
+	From int // inclusive
+	To   int // inclusive
+}
+
+// Size returns the number of partitions in the chunk.
+func (c Chunk) Size() int { return c.To - c.From + 1 }
+
+// Chunks splits nparts partitions into chunks of the given size (the
+// last chunk may be smaller).
+func Chunks(nparts, size int) []Chunk {
+	if size < 1 {
+		size = 1
+	}
+	var out []Chunk
+	for from := 0; from < nparts; from += size {
+		to := from + size - 1
+		if to >= nparts {
+			to = nparts - 1
+		}
+		out = append(out, Chunk{From: from, To: to})
+	}
+	return out
+}

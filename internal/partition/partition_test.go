@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/flatten"
+	"repro/internal/sat"
+	"repro/internal/unfold"
+	"repro/internal/vc"
+	"repro/prog"
+)
+
+const twoWorkerSrc = `
+int g;
+void w1() { g = g + 1; }
+void w2() { g = g + 2; }
+void main() {
+  int t1, t2;
+  t1 = create(w1);
+  t2 = create(w2);
+  join(t1);
+  join(t2);
+  assert(g == 3);
+}
+`
+
+func encode(t *testing.T, src string, contexts int) *vc.Encoded {
+	t.Helper()
+	p := prog.MustParse(src)
+	up, err := unfold.Unfold(p, unfold.Options{Unwind: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := flatten.Flatten(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := vc.Encode(fp, vc.Options{Contexts: contexts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestMakeCounts(t *testing.T) {
+	enc := encode(t, twoWorkerSrc, 5)
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		parts, err := Make(enc, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("n=%d: got %d partitions", n, len(parts))
+		}
+		want := 0
+		for p := 1; p < n; p *= 2 {
+			want++
+		}
+		for i, pt := range parts {
+			if pt.Index != i {
+				t.Fatalf("partition %d has index %d", i, pt.Index)
+			}
+			if len(pt.Assumptions) != want {
+				t.Fatalf("n=%d: partition %d has %d assumptions, want %d",
+					n, i, len(pt.Assumptions), want)
+			}
+		}
+	}
+}
+
+func TestMakeRejectsNonPowerOfTwo(t *testing.T) {
+	enc := encode(t, twoWorkerSrc, 5)
+	for _, n := range []int{0, 3, 6, -2} {
+		if _, err := Make(enc, n); err == nil {
+			t.Fatalf("n=%d accepted", n)
+		}
+	}
+}
+
+func TestMakeRejectsTooMany(t *testing.T) {
+	enc := encode(t, twoWorkerSrc, 3) // 2 symbolic contexts -> max 4
+	if _, err := Make(enc, 8); err == nil {
+		t.Fatal("8 partitions over 2 symbolic contexts accepted")
+	}
+	if MaxPartitions(enc) != 4 {
+		t.Fatalf("MaxPartitions: %d", MaxPartitions(enc))
+	}
+}
+
+func TestPartitionsAreDisjointAndComplete(t *testing.T) {
+	// The assumptions of distinct partitions must differ in at least one
+	// literal polarity (disjoint), and for every index the literals cover
+	// all combinations (complete by construction).
+	enc := encode(t, twoWorkerSrc, 4)
+	parts, err := Make(enc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, pt := range parts {
+		key := ""
+		for _, a := range pt.Assumptions {
+			key += a.String() + ","
+		}
+		if seen[key] {
+			t.Fatalf("duplicate assumption set %q", key)
+		}
+		seen[key] = true
+	}
+	// Complementary pairs: partition i and i^1 differ exactly in the
+	// first literal.
+	for i := 0; i+1 < len(parts); i += 2 {
+		if parts[i].Assumptions[0] != parts[i+1].Assumptions[0].Not() {
+			t.Fatalf("partitions %d/%d not complementary in first literal", i, i+1)
+		}
+	}
+}
+
+// The key semantic property (Sect. 3.3): the formula is satisfiable iff
+// at least one partition is satisfiable, for any partition count.
+func TestUnionEquivalence(t *testing.T) {
+	cases := []struct {
+		src      string
+		contexts int
+		wantSat  bool
+	}{
+		{twoWorkerSrc, 5, true}, // g==3 always holds sequentially... see below
+		{twoWorkerSrc, 3, false},
+	}
+	// With 5 contexts the assert can fail: schedule main,w1?,... g==3
+	// holds on every full execution (both increments are atomic adds), so
+	// actually the program is safe for any schedule; make an unsafe
+	// variant by asserting g == 1.
+	unsafe := `
+int g;
+void w1() { g = g + 1; }
+void w2() { g = g + 2; }
+void main() {
+  int t1, t2;
+  t1 = create(w1);
+  t2 = create(w2);
+  join(t1);
+  join(t2);
+  assert(g != 3);
+}
+`
+	cases = append(cases, struct {
+		src      string
+		contexts int
+		wantSat  bool
+	}{unsafe, 5, true})
+
+	for ci, c := range cases {
+		enc := encode(t, c.src, c.contexts)
+		whole := solveWith(t, enc, nil)
+		for _, n := range []int{1, 2, 4} {
+			parts, err := Make(enc, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			anySat := false
+			for _, pt := range parts {
+				if solveWith(t, enc, pt.Assumptions) == sat.Sat {
+					anySat = true
+				}
+			}
+			if anySat != (whole == sat.Sat) {
+				t.Fatalf("case %d n=%d: union %v != whole %v", ci, n, anySat, whole)
+			}
+		}
+		_ = whole
+	}
+	// Sanity: verify expectations on whole-formula verdicts.
+	encSafe := encode(t, twoWorkerSrc, 8)
+	if solveWith(t, encSafe, nil) != sat.Unsat {
+		t.Fatal("two-worker sum program should be safe")
+	}
+}
+
+func solveWith(t *testing.T, enc *vc.Encoded, assumps []cnf.Lit) sat.Status {
+	t.Helper()
+	s := sat.NewFromFormula(enc.Formula(), sat.Options{})
+	st, err := s.Solve(assumps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestChunks(t *testing.T) {
+	cs := Chunks(16, 8)
+	if len(cs) != 2 || cs[0].From != 0 || cs[0].To != 7 || cs[1].From != 8 || cs[1].To != 15 {
+		t.Fatalf("chunks: %+v", cs)
+	}
+	if cs[0].Size() != 8 {
+		t.Fatalf("chunk size: %d", cs[0].Size())
+	}
+	cs = Chunks(10, 4)
+	if len(cs) != 3 || cs[2].From != 8 || cs[2].To != 9 {
+		t.Fatalf("ragged chunks: %+v", cs)
+	}
+	cs = Chunks(4, 0)
+	if len(cs) != 4 {
+		t.Fatalf("size-0 chunks: %+v", cs)
+	}
+}

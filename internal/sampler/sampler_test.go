@@ -1,0 +1,112 @@
+package sampler
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/flatten"
+	"repro/internal/interp"
+	"repro/internal/unfold"
+	"repro/prog"
+)
+
+func flat(t *testing.T, p *prog.Program, u int) *flatten.Program {
+	t.Helper()
+	up, err := unfold.Unfold(p, unfold.Options{Unwind: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := flatten.Flatten(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestSamplerFindsShallowBug(t *testing.T) {
+	fp := flat(t, bench.Fibonacci(1), 1)
+	res, err := Sample(context.Background(), fp, Options{
+		Contexts: 4, MaxExecutions: 50000, Workers: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("sampler missed the Fibonacci alternation bug")
+	}
+	// The reported schedule must replay to a real violation.
+	replay := interp.NewState(fp, interp.Options{})
+	rerr := replay.Replay(res.Schedule, interp.ZeroNondet)
+	if _, ok := rerr.(*interp.Violation); !ok {
+		t.Fatalf("schedule does not replay: %v", rerr)
+	}
+}
+
+func TestSamplerFindsRaceBug(t *testing.T) {
+	fp := flat(t, bench.Workstealingqueue(), 2)
+	res, err := Sample(context.Background(), fp, Options{
+		Contexts: 7, MaxExecutions: 200000, Workers: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("sampler missed the work-stealing race in %d executions", res.Executions)
+	}
+}
+
+func TestSamplerRespectsBudget(t *testing.T) {
+	// Safestack is safe at this bound: the sampler must exhaust its
+	// budget without a violation (and without any guarantee).
+	fp := flat(t, bench.Safestack(), 2)
+	res, err := Sample(context.Background(), fp, Options{
+		Contexts: 5, MaxExecutions: 2000, Workers: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation below the bug depth: %v", res.Violation)
+	}
+	if res.Executions != 2000 {
+		t.Fatalf("executions: %d", res.Executions)
+	}
+}
+
+func TestSamplerCancellation(t *testing.T) {
+	fp := flat(t, bench.Safestack(), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Sample(ctx, fp, Options{Contexts: 5, MaxExecutions: 1 << 40, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal("violation on cancelled run")
+	}
+}
+
+func TestSamplerNondet(t *testing.T) {
+	p := prog.MustParse(`
+int g;
+void main() {
+  int x;
+  x = *;
+  assume(x >= 0);
+  assume(x < 4);
+  g = x;
+  assert(g != 3);
+}
+`)
+	fp := flat(t, p, 1)
+	res, err := Sample(context.Background(), fp, Options{
+		Contexts: 1, MaxExecutions: 10000, Workers: 1, Seed: 5, NondetDomain: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("sampler missed the nondet witness x=3")
+	}
+}

@@ -1,0 +1,526 @@
+package sat
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Simplifier implements the preprocessing pipeline of "MiniSat with
+// simplifier" (the solver configuration used by the paper's prototype,
+// Sect. 3.4): unit propagation, pure-literal elimination, subsumption,
+// self-subsuming resolution, and bounded variable elimination by clause
+// distribution, with model reconstruction for eliminated variables.
+//
+// Frozen variables (e.g. the partitioning assumption variables of
+// Sect. 3.3, or any variable whose model value must be read off
+// directly) are protected from elimination.
+type Simplifier struct {
+	// MaxClauseGrowth bounds variable elimination: a variable is only
+	// eliminated if the resolvent count does not exceed the removed
+	// clause count plus this slack (default 0, MiniSat's policy).
+	MaxClauseGrowth int
+	// MaxResolventLen skips resolvents longer than this (default 20).
+	MaxResolventLen int
+	// MaxRounds bounds the simplification fixpoint loop (default 12).
+	MaxRounds int
+
+	frozen     map[cnf.Var]bool
+	eliminated map[cnf.Var]bool
+	elimTrail  []elimRecord
+
+	stats Stats
+}
+
+type elimRecord struct {
+	v       cnf.Var
+	clauses []cnf.Clause // the clauses removed when v was eliminated
+}
+
+// NewSimplifier returns a Simplifier with default limits.
+func NewSimplifier() *Simplifier {
+	return &Simplifier{
+		MaxResolventLen: 20,
+		MaxRounds:       12,
+		frozen:          map[cnf.Var]bool{},
+		eliminated:      map[cnf.Var]bool{},
+	}
+}
+
+// Freeze protects variables from elimination.
+func (s *Simplifier) Freeze(vars ...cnf.Var) {
+	for _, v := range vars {
+		s.frozen[v] = true
+	}
+}
+
+// FreezeLits protects the variables of the given literals.
+func (s *Simplifier) FreezeLits(lits ...cnf.Lit) {
+	for _, l := range lits {
+		s.frozen[l.Var()] = true
+	}
+}
+
+// Stats reports preprocessing statistics.
+func (s *Simplifier) Stats() Stats { return s.stats }
+
+// simp is the working state of one Simplify call.
+type simp struct {
+	s        *Simplifier
+	numVars  int
+	clauses  []*wClause
+	occ      map[cnf.Lit][]*wClause
+	assigned map[cnf.Var]bool
+	units    []cnf.Lit
+}
+
+type wClause struct {
+	lits    cnf.Clause
+	deleted bool
+}
+
+// Simplify preprocesses the formula and returns an equisatisfiable one
+// over the same variable numbering. If preprocessing decides the
+// formula, the returned status is Sat or Unsat; otherwise Unknown (solve
+// the returned formula, then pass any model through ReconstructModel).
+func (s *Simplifier) Simplify(f *cnf.Formula) (*cnf.Formula, Status) {
+	w := &simp{
+		s:        s,
+		numVars:  f.NumVars,
+		occ:      map[cnf.Lit][]*wClause{},
+		assigned: map[cnf.Var]bool{},
+	}
+	for _, c := range f.Clauses {
+		nc, taut := append(cnf.Clause{}, c...).Normalize()
+		if taut {
+			continue
+		}
+		switch len(nc) {
+		case 0:
+			return emptyUnsat(f.NumVars), Unsat
+		case 1:
+			w.units = append(w.units, nc[0])
+		default:
+			w.attach(&wClause{lits: nc})
+		}
+	}
+	if !w.propagate() {
+		return emptyUnsat(f.NumVars), Unsat
+	}
+
+	for round := 0; round < s.MaxRounds; round++ {
+		changed := false
+		if w.subsumption() {
+			changed = true
+		}
+		if !w.propagate() {
+			return emptyUnsat(f.NumVars), Unsat
+		}
+		if w.pureLiterals() {
+			changed = true
+		}
+		ok, elim := w.eliminateVariables()
+		if !ok {
+			return emptyUnsat(f.NumVars), Unsat
+		}
+		if elim {
+			changed = true
+		}
+		if !w.propagate() {
+			return emptyUnsat(f.NumVars), Unsat
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := cnf.New()
+	out.NumVars = f.NumVars
+	vars := make([]cnf.Var, 0, len(w.assigned))
+	for v := range w.assigned {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		out.AddUnit(cnf.MkLit(v, !w.assigned[v]))
+	}
+	live := 0
+	for _, c := range w.clauses {
+		if c.deleted {
+			s.stats.Simplified++
+			continue
+		}
+		out.AddClause(append(cnf.Clause{}, c.lits...)...)
+		live++
+	}
+	if live == 0 {
+		// Only units remain: satisfiable (extendable by reconstruction).
+		return out, Sat
+	}
+	return out, Unknown
+}
+
+func (w *simp) attach(c *wClause) {
+	w.clauses = append(w.clauses, c)
+	for _, l := range c.lits {
+		w.occ[l] = append(w.occ[l], c)
+	}
+}
+
+// liveOcc returns the clauses that still contain l, compacting the
+// occurrence list (clauses may have been deleted, or strengthened so
+// that l no longer occurs in them).
+func (w *simp) liveOcc(l cnf.Lit) []*wClause {
+	out := w.occ[l][:0]
+	for _, c := range w.occ[l] {
+		if !c.deleted && containsLit(c.lits, l) {
+			out = append(out, c)
+		}
+	}
+	w.occ[l] = out
+	return out
+}
+
+func containsLit(c cnf.Clause, l cnf.Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// propagate applies queued units; false means conflict.
+func (w *simp) propagate() bool {
+	for len(w.units) > 0 {
+		u := w.units[0]
+		w.units = w.units[1:]
+		if val, ok := w.assigned[u.Var()]; ok {
+			if val == u.Neg() {
+				return false
+			}
+			continue
+		}
+		w.assigned[u.Var()] = !u.Neg()
+		for _, c := range w.liveOcc(u) {
+			c.deleted = true
+		}
+		for _, c := range w.liveOcc(u.Not()) {
+			kept := c.lits[:0]
+			for _, l := range c.lits {
+				if l != u.Not() {
+					kept = append(kept, l)
+				}
+			}
+			c.lits = kept
+			switch len(c.lits) {
+			case 0:
+				return false
+			case 1:
+				w.units = append(w.units, c.lits[0])
+				c.deleted = true
+			}
+		}
+	}
+	return true
+}
+
+// pureLiterals eliminates variables occurring with a single polarity.
+func (w *simp) pureLiterals() bool {
+	changed := false
+	for v := cnf.Var(1); int(v) <= w.numVars; v++ {
+		if w.s.frozen[v] || w.s.eliminated[v] {
+			continue
+		}
+		if _, ok := w.assigned[v]; ok {
+			continue
+		}
+		pos, neg := w.liveOcc(cnf.PosLit(v)), w.liveOcc(cnf.NegLit(v))
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos) != 0 && len(neg) != 0 {
+			continue
+		}
+		occs := pos
+		if len(pos) == 0 {
+			occs = neg
+		}
+		var saved []cnf.Clause
+		for _, c := range occs {
+			saved = append(saved, append(cnf.Clause{}, c.lits...))
+			c.deleted = true
+		}
+		w.s.elimTrail = append(w.s.elimTrail, elimRecord{v: v, clauses: saved})
+		w.s.eliminated[v] = true
+		w.s.stats.ElimVars++
+		changed = true
+	}
+	return changed
+}
+
+// eliminateVariables performs bounded variable elimination; the first
+// return value is false on refutation.
+func (w *simp) eliminateVariables() (ok, changed bool) {
+	for v := cnf.Var(1); int(v) <= w.numVars; v++ {
+		if w.s.frozen[v] || w.s.eliminated[v] {
+			continue
+		}
+		if _, isAssigned := w.assigned[v]; isAssigned {
+			continue
+		}
+		pos, neg := w.liveOcc(cnf.PosLit(v)), w.liveOcc(cnf.NegLit(v))
+		if len(pos) == 0 || len(neg) == 0 {
+			continue // pure or absent: handled elsewhere
+		}
+		if len(pos)*len(neg) > len(pos)+len(neg)+4 {
+			continue
+		}
+		var resolvents []cnf.Clause
+		feasible := true
+		for _, pc := range pos {
+			for _, nc := range neg {
+				r := resolve(pc.lits, nc.lits, v)
+				if r == nil {
+					continue
+				}
+				if len(r) > w.s.MaxResolventLen {
+					feasible = false
+					break
+				}
+				resolvents = append(resolvents, r)
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible || len(resolvents) > len(pos)+len(neg)+w.s.MaxClauseGrowth {
+			continue
+		}
+		var saved []cnf.Clause
+		for _, c := range pos {
+			saved = append(saved, append(cnf.Clause{}, c.lits...))
+			c.deleted = true
+		}
+		for _, c := range neg {
+			saved = append(saved, append(cnf.Clause{}, c.lits...))
+			c.deleted = true
+		}
+		w.s.elimTrail = append(w.s.elimTrail, elimRecord{v: v, clauses: saved})
+		w.s.eliminated[v] = true
+		w.s.stats.ElimVars++
+		changed = true
+		for _, r := range resolvents {
+			switch len(r) {
+			case 0:
+				return false, true
+			case 1:
+				w.units = append(w.units, r[0])
+			default:
+				w.attach(&wClause{lits: r})
+			}
+		}
+		if !w.propagate() {
+			return false, true
+		}
+	}
+	return true, changed
+}
+
+// subsumption removes subsumed clauses and strengthens clauses by
+// self-subsuming resolution; returns whether anything changed.
+func (w *simp) subsumption() bool {
+	changed := false
+	// Iterate shortest-first so strong subsumers act early.
+	order := make([]*wClause, 0, len(w.clauses))
+	for _, c := range w.clauses {
+		if !c.deleted {
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return len(order[i].lits) < len(order[j].lits) })
+	for _, c := range order {
+		if c.deleted || len(c.lits) == 0 {
+			continue
+		}
+		rare := c.lits[0]
+		for _, l := range c.lits[1:] {
+			if len(w.occ[l]) < len(w.occ[rare]) {
+				rare = l
+			}
+		}
+		for _, other := range w.liveOcc(rare) {
+			if other == c || len(other.lits) < len(c.lits) {
+				continue
+			}
+			if subsumes(c.lits, other.lits) {
+				other.deleted = true
+				w.s.stats.Simplified++
+				changed = true
+			}
+		}
+		// Self-subsuming resolution: for l in c, if (c \ {l}) ∪ {¬l}
+		// subsumes another clause, that clause can drop ¬l.
+		for _, l := range c.lits {
+			flipped := append(cnf.Clause{}, c.lits...)
+			for i := range flipped {
+				if flipped[i] == l {
+					flipped[i] = l.Not()
+				}
+			}
+			flipped, taut := flipped.Normalize()
+			if taut {
+				continue
+			}
+			for _, other := range w.liveOcc(l.Not()) {
+				if other.deleted || other == c {
+					continue
+				}
+				if subsumes(flipped, other.lits) {
+					kept := other.lits[:0]
+					for _, ol := range other.lits {
+						if ol != l.Not() {
+							kept = append(kept, ol)
+						}
+					}
+					other.lits = kept
+					changed = true
+					switch len(other.lits) {
+					case 0:
+						// Conflict discovered; surface via a unit pair.
+						w.units = append(w.units, l, l.Not())
+						other.deleted = true
+					case 1:
+						w.units = append(w.units, other.lits[0])
+						other.deleted = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// subsumes reports a ⊆ b for sorted clauses.
+func subsumes(a, b cnf.Clause) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// resolve computes the resolvent of a and b on pivot v; nil for
+// tautologies.
+func resolve(a, b cnf.Clause, v cnf.Var) cnf.Clause {
+	out := make(cnf.Clause, 0, len(a)+len(b)-2)
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	nc, taut := out.Normalize()
+	if taut {
+		return nil
+	}
+	return nc
+}
+
+// ReconstructModel extends a model of the simplified formula to a model
+// of the original formula by replaying the elimination trail in reverse:
+// each eliminated variable is set to a value satisfying all the clauses
+// removed with it.
+func (s *Simplifier) ReconstructModel(model []bool) []bool {
+	out := append([]bool(nil), model...)
+	for i := len(s.elimTrail) - 1; i >= 0; i-- {
+		rec := s.elimTrail[i]
+		if int(rec.v) > len(out) {
+			continue
+		}
+		for _, val := range []bool{true, false} {
+			out[rec.v-1] = val
+			if clausesSatisfied(rec.clauses, out) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func clausesSatisfied(cs []cnf.Clause, model []bool) bool {
+	for _, c := range cs {
+		sat := false
+		for _, l := range c {
+			v := model[l.Var()-1]
+			if l.Neg() {
+				v = !v
+			}
+			if v {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func emptyUnsat(numVars int) *cnf.Formula {
+	out := cnf.New()
+	out.NumVars = numVars
+	out.AddClause()
+	return out
+}
+
+// SolveSimplified preprocesses the formula (freezing the assumption
+// variables), solves the result, and reconstructs a full model on SAT.
+// It is a drop-in alternative to NewFromFormula(...).Solve(...) matching
+// the paper's "MiniSat with simplifier" configuration.
+func SolveSimplified(f *cnf.Formula, opts Options, assumptions ...cnf.Lit) (Status, []bool, error) {
+	sp := NewSimplifier()
+	sp.FreezeLits(assumptions...)
+	simplified, st := sp.Simplify(f)
+	switch st {
+	case Unsat:
+		return Unsat, nil, nil
+	case Sat:
+		if len(assumptions) == 0 {
+			base := make([]bool, f.NumVars)
+			// Apply the unit clauses of the simplified formula.
+			for _, c := range simplified.Clauses {
+				if len(c) == 1 {
+					base[c[0].Var()-1] = !c[0].Neg()
+				}
+			}
+			return Sat, sp.ReconstructModel(base), nil
+		}
+		// With assumptions pending we still need a search over them.
+	}
+	solver := NewFromFormula(simplified, opts)
+	status, err := solver.Solve(assumptions...)
+	if err != nil || status != Sat {
+		return status, nil, err
+	}
+	model := solver.Model()
+	if len(model) < f.NumVars {
+		grown := make([]bool, f.NumVars)
+		copy(grown, model)
+		model = grown
+	}
+	return Sat, sp.ReconstructModel(model), nil
+}

@@ -1,0 +1,236 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// simplifyAndSolve runs the full simplifier pipeline and decides
+// satisfiability, reconstructing the model on SAT.
+func simplifyAndSolve(t *testing.T, f *cnf.Formula) (Status, []bool) {
+	t.Helper()
+	st, model, err := SolveSimplified(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, model
+}
+
+func TestSimplifyAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for iter := 0; iter < 400; iter++ {
+		nv := 1 + rng.Intn(10)
+		f := randomFormula(rng, nv, rng.Intn(40), 1+rng.Intn(4))
+		want := bruteForceSat(f)
+		st, model := simplifyAndSolve(t, f)
+		if (st == Sat) != want {
+			t.Fatalf("iter %d: simplified=%v bruteforce=%v\n%v", iter, st, want, f)
+		}
+		if st == Sat {
+			assign := make([]bool, f.NumVars+1)
+			copy(assign[1:], model)
+			if !f.Eval(assign) {
+				t.Fatalf("iter %d: reconstructed model invalid", iter)
+			}
+		}
+	}
+}
+
+func TestSimplifyUnderAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for iter := 0; iter < 200; iter++ {
+		nv := 2 + rng.Intn(8)
+		f := randomFormula(rng, nv, rng.Intn(30), 1+rng.Intn(4))
+		var assumps []cnf.Lit
+		seen := map[int]bool{}
+		for i := 0; i <= rng.Intn(3); i++ {
+			v := 1 + rng.Intn(nv)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			assumps = append(assumps, cnf.MkLit(cnf.Var(v), rng.Intn(2) == 0))
+		}
+		ref := f.Clone()
+		for _, a := range assumps {
+			ref.AddUnit(a)
+		}
+		want := bruteForceSat(ref)
+		st, model, err := SolveSimplified(f, Options{}, assumps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (st == Sat) != want {
+			t.Fatalf("iter %d: simplified=%v want=%v assumps=%v", iter, st, want, assumps)
+		}
+		if st == Sat {
+			assign := make([]bool, f.NumVars+1)
+			copy(assign[1:], model)
+			if !f.Eval(assign) {
+				t.Fatalf("iter %d: model invalid", iter)
+			}
+			for _, a := range assumps {
+				if assign[a.Var()] == a.Neg() {
+					t.Fatalf("iter %d: assumption %v violated", iter, a)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyTrivialCases(t *testing.T) {
+	// Empty formula: SAT.
+	st, _ := simplifyAndSolve(t, cnf.New())
+	if st != Sat {
+		t.Fatalf("empty: %v", st)
+	}
+	// Single unit.
+	f := cnf.New()
+	f.AddUnit(cnf.PosLit(1))
+	st, model := simplifyAndSolve(t, f)
+	if st != Sat || !model[0] {
+		t.Fatalf("unit: %v %v", st, model)
+	}
+	// Contradiction.
+	f2 := cnf.New()
+	f2.AddUnit(cnf.PosLit(1))
+	f2.AddUnit(cnf.NegLit(1))
+	if st, _ := simplifyAndSolve(t, f2); st != Unsat {
+		t.Fatalf("contradiction: %v", st)
+	}
+	// Empty clause.
+	f3 := cnf.New()
+	f3.AddClause()
+	if st, _ := simplifyAndSolve(t, f3); st != Unsat {
+		t.Fatalf("empty clause: %v", st)
+	}
+}
+
+func TestSimplifyReducesPigeonhole(t *testing.T) {
+	f := pigeonhole(5)
+	sp := NewSimplifier()
+	simplified, st := sp.Simplify(f)
+	if st == Sat {
+		t.Fatal("pigeonhole cannot be satisfiable")
+	}
+	if st == Unknown && simplified.NumClauses() > f.NumClauses() {
+		t.Fatalf("simplification grew the formula: %d -> %d",
+			f.NumClauses(), simplified.NumClauses())
+	}
+}
+
+func TestSimplifyEliminatesVariables(t *testing.T) {
+	// x3 occurs once positively and once negatively: eliminated by
+	// resolution, leaving (x1 ∨ x2 ∨ x4).
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1), cnf.PosLit(3))
+	f.AddClause(cnf.NegLit(3), cnf.PosLit(2), cnf.PosLit(4))
+	sp := NewSimplifier()
+	_, st := sp.Simplify(f)
+	if st == Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if sp.Stats().ElimVars == 0 {
+		t.Fatal("no variables eliminated")
+	}
+}
+
+func TestFrozenVariablesSurvive(t *testing.T) {
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1), cnf.PosLit(2))
+	f.AddClause(cnf.NegLit(2), cnf.PosLit(3))
+	sp := NewSimplifier()
+	sp.Freeze(2)
+	simplified, st := sp.Simplify(f)
+	if st == Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	// Variable 2 must still be eliminable-free: it may appear in the
+	// output or be absent (if its clauses vanished), but it must not be
+	// in the elimination trail.
+	for _, rec := range sp.elimTrail {
+		if rec.v == 2 {
+			t.Fatal("frozen variable eliminated")
+		}
+	}
+	_ = simplified
+}
+
+func TestSubsumptionRemovesWeakerClause(t *testing.T) {
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1), cnf.PosLit(2))
+	f.AddClause(cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)) // subsumed
+	f.AddClause(cnf.NegLit(1), cnf.PosLit(4))
+	f.AddClause(cnf.NegLit(2), cnf.NegLit(4))
+	sp := NewSimplifier()
+	sp.Freeze(1, 2, 3, 4) // isolate subsumption from elimination
+	simplified, _ := sp.Simplify(f)
+	if simplified.NumClauses() >= f.NumClauses() {
+		t.Fatalf("subsumed clause not removed: %d clauses", simplified.NumClauses())
+	}
+}
+
+func TestSelfSubsumingResolutionStrengthens(t *testing.T) {
+	// (1 2) and (1 ¬2 3): the second strengthens to (1 3) via
+	// self-subsumption with the first... check at least equisatisfiable
+	// output with brute force on a targeted instance.
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1), cnf.PosLit(2))
+	f.AddClause(cnf.PosLit(1), cnf.NegLit(2), cnf.PosLit(3))
+	f.AddClause(cnf.NegLit(1))
+	want := bruteForceSat(f)
+	st, model := simplifyAndSolve(t, f)
+	if (st == Sat) != want {
+		t.Fatalf("verdict %v want sat=%v", st, want)
+	}
+	if st == Sat {
+		assign := make([]bool, f.NumVars+1)
+		copy(assign[1:], model)
+		if !f.Eval(assign) {
+			t.Fatal("model invalid")
+		}
+	}
+}
+
+func TestReconstructModelHandlesChains(t *testing.T) {
+	// Chain of equivalences x1 = x2 = x3 = x4 with x1 forced: the
+	// eliminated middle variables must reconstruct consistently.
+	f := cnf.New()
+	for v := 1; v <= 3; v++ {
+		f.AddClause(cnf.NegLit(cnf.Var(v)), cnf.PosLit(cnf.Var(v+1)))
+		f.AddClause(cnf.PosLit(cnf.Var(v)), cnf.NegLit(cnf.Var(v+1)))
+	}
+	f.AddUnit(cnf.PosLit(1))
+	st, model := simplifyAndSolve(t, f)
+	if st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	for v := 0; v < 4; v++ {
+		if !model[v] {
+			t.Fatalf("x%d false in reconstructed model", v+1)
+		}
+	}
+}
+
+func TestSimplifierPreservesBenchVerdicts(t *testing.T) {
+	// Random larger instances: simplifier + solver must agree with the
+	// plain solver.
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 30; iter++ {
+		f := randomFormula(rng, 40, 150, 3)
+		plain := NewFromFormula(f, Options{})
+		want, err := plain.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := SolveSimplified(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != want {
+			t.Fatalf("iter %d: simplified %v, plain %v", iter, st, want)
+		}
+	}
+}

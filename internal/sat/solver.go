@@ -1,0 +1,795 @@
+// Package sat implements a conflict-driven clause-learning (CDCL)
+// propositional decision procedure in the style of MiniSat 2.2, the solver
+// used by the paper's prototype. It provides two-watched-literal unit
+// propagation, VSIDS variable activity with phase saving, first-UIP clause
+// learning with recursive minimisation, Luby restarts, learnt-clause
+// database reduction, solving under assumptions implemented as frozen unit
+// clauses (Sect. 3.3 of the paper), and the search statistics (decisions,
+// maximal decision depth, backjumps) used to reproduce Figure 6.
+package sat
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of a satisfiability check.
+type Status int
+
+const (
+	// Unknown means the search was interrupted or ran out of budget.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) has none.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrInterrupted is returned by Solve when the solver was cancelled.
+var ErrInterrupted = errors.New("sat: solver interrupted")
+
+// Stats collects search statistics. The decision/depth/backjump counters
+// correspond to the quantities visualised in Figure 6 of the paper.
+type Stats struct {
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64
+	Restarts     int64
+	MaxDepth     int   // maximal decision level reached
+	Backjumps    int64 // non-chronological backtracks (jump of >1 level)
+	Learnt       int64 // learnt clauses added
+	LearntLits   int64 // total literals in learnt clauses
+	Minimised    int64 // literals removed by conflict-clause minimisation
+	Simplified   int64 // clauses removed by the preprocessor
+	ElimVars     int64 // variables eliminated by the preprocessor
+}
+
+// Options configures a Solver.
+type Options struct {
+	// VarDecay is the VSIDS activity decay factor (default 0.95).
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay factor (default 0.999).
+	ClauseDecay float64
+	// RestartBase is the Luby restart unit in conflicts (default 100).
+	RestartBase int
+	// PhaseSaving enables progress saving of variable polarities (default true,
+	// disabled by setting NoPhaseSaving).
+	NoPhaseSaving bool
+	// InitialPolarity is the polarity used for never-assigned variables.
+	InitialPolarity bool
+	// RandomizeFreq in [0,1) decides with random polarity/variable with the
+	// given frequency; used for portfolio diversification (default 0).
+	RandomizeFreq float64
+	// Seed seeds the diversification RNG.
+	Seed uint64
+	// MaxConflicts bounds the total number of conflicts (0 = unbounded).
+	MaxConflicts int64
+	// NoPreprocess disables the inprocessing-free preprocessor pipeline when
+	// solving through SolveFormula helpers (the Solver itself never
+	// preprocesses implicitly).
+	NoPreprocess bool
+}
+
+func (o *Options) setDefaults() {
+	if o.VarDecay == 0 {
+		o.VarDecay = 0.95
+	}
+	if o.ClauseDecay == 0 {
+		o.ClauseDecay = 0.999
+	}
+	if o.RestartBase == 0 {
+		o.RestartBase = 100
+	}
+}
+
+type clause struct {
+	lits   []cnf.Lit
+	act    float64
+	lbd    int
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct
+// with New or NewFromFormula.
+type Solver struct {
+	opts Options
+
+	numVars int
+	ok      bool // false once the clause set is known inconsistent
+
+	clauses []*clause
+	learnts []*clause
+
+	watches [][]watcher // indexed by Lit.Index()
+
+	assigns  []int8 // per variable: lTrue/lFalse/lUndef
+	level    []int
+	reason   []*clause
+	polarity []bool // saved phase per variable
+	frozen   []bool // assumption-frozen variables (paper Sect. 3.3)
+
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	activity  []float64
+	varInc    float64
+	claInc    float64
+	order     varHeap
+	seen      []byte
+	analyzeTs []cnf.Lit // scratch for minimisation
+
+	model []int8 // last satisfying assignment (per variable)
+
+	stats Stats
+	graph *DecisionGraph
+	proof *Proof
+
+	interrupt atomic.Bool
+	rngState  uint64
+
+	// ShareLearnt, if non-nil, is invoked for every learnt clause whose LBD
+	// is at most ShareMaxLBD; used by the portfolio baselines for clause
+	// exchange. The callback must not retain the slice.
+	ShareLearnt func(lits []cnf.Lit, lbd int)
+	ShareMaxLBD int
+	// Import, if non-nil, is polled at every restart for foreign clauses to
+	// add. It must return clauses over existing variables.
+	Import func() [][]cnf.Lit
+}
+
+// New creates a solver with the given number of variables.
+func New(numVars int, opts Options) *Solver {
+	opts.setDefaults()
+	s := &Solver{
+		opts:     opts,
+		ok:       true,
+		varInc:   1,
+		claInc:   1,
+		rngState: opts.Seed*2654435761 + 88172645463325252,
+	}
+	s.growTo(numVars)
+	return s
+}
+
+// NewFromFormula creates a solver and loads every clause of f.
+func NewFromFormula(f *cnf.Formula, opts Options) *Solver {
+	s := New(f.NumVars, opts)
+	for _, c := range f.Clauses {
+		s.AddClause(c...)
+	}
+	return s
+}
+
+func (s *Solver) growTo(n int) {
+	for s.numVars < n {
+		s.numVars++
+		s.watches = append(s.watches, nil, nil)
+		s.assigns = append(s.assigns, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.polarity = append(s.polarity, s.opts.InitialPolarity)
+		s.frozen = append(s.frozen, false)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, 0)
+		s.order.push(cnf.Var(s.numVars), &s.activity)
+	}
+	// watches is indexed by Lit.Index() which starts at 2 for variable 1.
+	for len(s.watches) < 2*(s.numVars+1) {
+		s.watches = append(s.watches, nil)
+	}
+}
+
+// NumVars returns the number of variables known to the solver.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// Stats returns a snapshot of the search statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Interrupt asynchronously cancels an in-flight Solve, which will return
+// (Unknown, ErrInterrupted). Safe to call from other goroutines.
+func (s *Solver) Interrupt() { s.interrupt.Store(true) }
+
+// Interrupted reports whether the solver has been cancelled.
+func (s *Solver) Interrupted() bool { return s.interrupt.Load() }
+
+func (s *Solver) valueVar(v cnf.Var) int8 { return s.assigns[v-1] }
+
+func (s *Solver) valueLit(l cnf.Lit) int8 {
+	val := s.assigns[l.Var()-1]
+	if l.Neg() {
+		return -val
+	}
+	return val
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause introduces a clause over 1-based variables, growing the
+// variable set as needed. It may only be called before Solve or between
+// Solve calls (at decision level 0). It returns false if the clause set
+// became trivially inconsistent.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	for _, l := range lits {
+		if int(l.Var()) > s.numVars {
+			s.growTo(int(l.Var()))
+		}
+	}
+	c := append(cnf.Clause{}, lits...)
+	c, taut := c.Normalize()
+	if taut {
+		return true
+	}
+	// Remove literals already false at level 0; detect satisfied clauses.
+	out := c[:0]
+	for _, l := range c {
+		switch s.valueLit(l) {
+		case lTrue:
+			return true
+		case lUndef:
+			out = append(out, l)
+		}
+	}
+	c = out
+	switch len(c) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(c[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	cl := &clause{lits: c}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not().Index()] = append(s.watches[l0.Not().Index()], watcher{c, l1})
+	s.watches[l1.Not().Index()] = append(s.watches[l1.Not().Index()], watcher{c, l0})
+}
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v-1] = lFalse
+	} else {
+		s.assigns[v-1] = lTrue
+	}
+	s.level[v-1] = s.decisionLevel()
+	s.reason[v-1] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p.Index()]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					idx := c.lits[1].Not().Index()
+					s.watches[idx] = append(s.watches[idx], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.valueLit(first) == lFalse {
+				// Conflict: copy back remaining watchers and bail out.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p.Index()] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p.Index()] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.opts.NoPhaseSaving {
+			s.polarity[v-1] = !l.Neg()
+		}
+		s.assigns[v-1] = lUndef
+		s.reason[v-1] = nil
+		s.order.insert(v, &s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v-1] += s.varInc
+	if s.activity[v-1] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, &s.activity)
+}
+
+func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, cl := range s.learnts {
+			cl.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= s.opts.ClauseDecay }
+
+func (s *Solver) rand() uint64 {
+	// xorshift64*
+	x := s.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rngState = x
+	return x * 2685821657736338717
+}
+
+func (s *Solver) randFloat() float64 {
+	return float64(s.rand()>>11) / float64(1<<53)
+}
+
+func (s *Solver) pickBranchLit() cnf.Lit {
+	if s.opts.RandomizeFreq > 0 && s.randFloat() < s.opts.RandomizeFreq {
+		// Random decision among unassigned variables (diversification).
+		for tries := 0; tries < 10; tries++ {
+			v := cnf.Var(1 + s.rand()%uint64(s.numVars))
+			if s.valueVar(v) == lUndef {
+				return cnf.MkLit(v, s.rand()&1 == 0)
+			}
+		}
+	}
+	for {
+		v, ok := s.order.popMax(&s.activity)
+		if !ok {
+			return cnf.LitUndef
+		}
+		if s.valueVar(v) == lUndef {
+			return cnf.MkLit(v, !s.polarity[v-1])
+		}
+	}
+}
+
+// analyze performs first-UIP conflict analysis and returns the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int, int) {
+	learnt := []cnf.Lit{cnf.LitUndef}
+	counter := 0
+	p := cnf.LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v-1] == 0 && s.level[v-1] > 0 {
+				s.seen[v-1] = 1
+				s.bumpVar(v)
+				if s.level[v-1] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[idx].Var()-1] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		confl = s.reason[p.Var()-1]
+		s.seen[p.Var()-1] = 0
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Recursive conflict-clause minimisation.
+	s.analyzeTs = s.analyzeTs[:0]
+	for _, l := range learnt[1:] {
+		s.analyzeTs = append(s.analyzeTs, l)
+	}
+	out := learnt[:1]
+	removed := 0
+	for _, l := range learnt[1:] {
+		if s.reason[l.Var()-1] == nil || !s.litRedundant(l) {
+			out = append(out, l)
+		} else {
+			removed++
+		}
+	}
+	s.stats.Minimised += int64(removed)
+	learnt = out
+
+	// Clear seen flags for the surviving and scratch literals.
+	for _, l := range s.analyzeTs {
+		s.seen[l.Var()-1] = 0
+	}
+	for _, l := range learnt {
+		if l != cnf.LitUndef {
+			s.seen[l.Var()-1] = 0
+		}
+	}
+
+	// Find backtrack level: the maximal level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()-1] > s.level[learnt[maxI].Var()-1] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()-1]
+	}
+
+	// Compute LBD (number of distinct decision levels).
+	lbd := s.computeLBD(learnt)
+	return learnt, btLevel, lbd
+}
+
+func (s *Solver) computeLBD(lits []cnf.Lit) int {
+	levels := map[int]struct{}{}
+	for _, l := range lits {
+		levels[s.level[l.Var()-1]] = struct{}{}
+	}
+	return len(levels)
+}
+
+// litRedundant checks whether l is implied by the other literals marked in
+// seen, walking the implication graph (MiniSat's ccmin).
+func (s *Solver) litRedundant(l cnf.Lit) bool {
+	stack := []cnf.Lit{l}
+	top := len(s.analyzeTs)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.reason[p.Var()-1]
+		for _, q := range c.lits {
+			if q == p.Not() || q.Var() == p.Var() {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v-1] != 0 || s.level[v-1] == 0 {
+				continue
+			}
+			if s.reason[v-1] == nil {
+				// Not redundant: undo the tentative marks.
+				for len(s.analyzeTs) > top {
+					s.seen[s.analyzeTs[len(s.analyzeTs)-1].Var()-1] = 0
+					s.analyzeTs = s.analyzeTs[:len(s.analyzeTs)-1]
+				}
+				return false
+			}
+			s.seen[v-1] = 1
+			s.analyzeTs = append(s.analyzeTs, q)
+			stack = append(stack, q)
+		}
+	}
+	return true
+}
+
+func (s *Solver) recordLearnt(lits []cnf.Lit, lbd int) *clause {
+	s.stats.Learnt++
+	s.stats.LearntLits += int64(len(lits))
+	if s.proof != nil {
+		s.proof.Lemmas = append(s.proof.Lemmas, append(cnf.Clause{}, lits...))
+	}
+	if s.ShareLearnt != nil && lbd <= s.ShareMaxLBD && len(lits) > 1 {
+		cp := make([]cnf.Lit, len(lits))
+		copy(cp, lits)
+		s.ShareLearnt(cp, lbd)
+	}
+	if len(lits) == 1 {
+		return nil
+	}
+	c := &clause{lits: append([]cnf.Lit{}, lits...), learnt: true, lbd: lbd}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.bumpClause(c)
+	return c
+}
+
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	sort.Slice(s.learnts, func(i, j int) bool {
+		// Keep high-activity, low-LBD clauses.
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return b.lbd <= 2
+		}
+		return a.act < b.act
+	})
+	limit := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	removed := 0
+	for i, c := range s.learnts {
+		if i < limit && len(c.lits) > 2 && !s.isReason(c) {
+			s.detach(c)
+			removed++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	_ = removed
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.valueLit(c.lits[0]) == lTrue && s.reason[v-1] == c
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
+		idx := l.Not().Index()
+		ws := s.watches[idx]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[idx] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// search runs CDCL until a model is found, the clause set is refuted,
+// the conflict budget is exhausted, or the solver is interrupted.
+func (s *Solver) search(conflictBudget int64) (Status, error) {
+	var conflicts int64
+	for {
+		if s.interrupt.Load() {
+			return Unknown, ErrInterrupted
+		}
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				return Unsat, nil
+			}
+			learnt, btLevel, lbd := s.analyze(confl)
+			if btLevel < s.decisionLevel()-1 {
+				s.stats.Backjumps++
+			}
+			if s.graph != nil {
+				s.graph.recordBackjump(btLevel)
+			}
+			s.cancelUntil(btLevel)
+			c := s.recordLearnt(learnt, lbd)
+			s.uncheckedEnqueue(learnt[0], c)
+			s.decayVar()
+			s.decayClause()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				return Unknown, nil
+			}
+			continue
+		}
+		if conflictBudget >= 0 && conflicts >= conflictBudget {
+			s.cancelUntil(0)
+			return Unknown, nil
+		}
+		if int64(len(s.learnts)) > int64(len(s.clauses))/2+10000 {
+			s.reduceDB()
+		}
+		next := s.pickBranchLit()
+		if next == cnf.LitUndef {
+			// All variables assigned: model found.
+			s.model = append([]int8(nil), s.assigns...)
+			return Sat, nil
+		}
+		s.stats.Decisions++
+		s.newDecisionLevel()
+		if dl := s.decisionLevel(); dl > s.stats.MaxDepth {
+			s.stats.MaxDepth = dl
+		}
+		if s.graph != nil {
+			s.graph.recordDecision(s.decisionLevel(), next)
+		}
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Solve decides satisfiability under the given assumptions. Following the
+// paper (Sect. 3.3, "Changes to the Propositional Solver"), assumptions are
+// converted into unit clauses enqueued at decision level 0, a propagation
+// step is forced, and the assigned literals are frozen: level-0 assignments
+// are never backtracked, so the solver can never flip them, and they are
+// retained across restarts.
+//
+// Freezing is permanent, exactly as in the paper's prototype (each
+// sub-formula gets its own solver process): assumptions accumulate over
+// repeated Solve calls on the same instance, and a later call whose
+// assumption contradicts a frozen one returns Unsat. To explore
+// different partitions, use a fresh Solver per assumption set, as
+// package parallel does.
+func (s *Solver) Solve(assumptions ...cnf.Lit) (Status, error) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	s.cancelUntil(0)
+	for _, a := range assumptions {
+		if int(a.Var()) > s.numVars {
+			s.growTo(int(a.Var()))
+		}
+		switch s.valueLit(a) {
+		case lTrue:
+			continue
+		case lFalse:
+			return Unsat, nil
+		}
+		s.frozen[a.Var()-1] = true
+		s.uncheckedEnqueue(a, nil)
+	}
+	// Forced propagation of the assumption units (paper Sect. 3.3): the
+	// search then starts on an equisatisfiable but pruned formula.
+	if s.propagate() != nil {
+		return Unsat, nil
+	}
+
+	for restart := int64(1); ; restart++ {
+		budget := int64(s.opts.RestartBase) * luby(restart)
+		st, err := s.search(budget)
+		if err != nil {
+			return Unknown, err
+		}
+		if st != Unknown {
+			return st, nil
+		}
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+			return Unknown, nil
+		}
+		s.stats.Restarts++
+		s.cancelUntil(0)
+		if s.Import != nil {
+			for _, lits := range s.Import() {
+				if !s.addImported(lits) {
+					return Unsat, nil
+				}
+			}
+		}
+	}
+}
+
+// addImported adds a foreign (shared) clause at level 0.
+func (s *Solver) addImported(lits []cnf.Lit) bool {
+	return s.AddClause(lits...)
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve. Index v-1 holds the value of variable v. Variables never assigned
+// (possible after preprocessing) are reported as false.
+func (s *Solver) Model() []bool {
+	out := make([]bool, s.numVars)
+	for i, v := range s.model {
+		out[i] = v == lTrue
+	}
+	return out
+}
+
+// ModelValue returns the model value of a literal.
+func (s *Solver) ModelValue(l cnf.Lit) bool {
+	v := s.model[l.Var()-1] == lTrue
+	if l.Neg() {
+		return !v
+	}
+	return v
+}
+
+// Frozen reports whether a variable was frozen by an assumption.
+func (s *Solver) Frozen(v cnf.Var) bool {
+	if int(v) > s.numVars {
+		return false
+	}
+	return s.frozen[v-1]
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/flatten"
+	"repro/internal/sat"
+	"repro/internal/unfold"
+	"repro/internal/vc"
+	"repro/prog"
+)
+
+// genProgramNondet is genProgram but with uninitialised locals and bool
+// locals, exercising the paper-mode (nondet locals) pipeline.
+func genProgramNondet(rng *rand.Rand) string {
+	shared := []string{"a", "b"}
+	expr := func() string {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(4))
+		case 1, 2:
+			return shared[rng.Intn(2)]
+		case 3:
+			return "x"
+		case 4:
+			return fmt.Sprintf("%s + %d", shared[rng.Intn(2)], 1+rng.Intn(3))
+		default:
+			return fmt.Sprintf("%s + x", shared[rng.Intn(2)])
+		}
+	}
+	cond := func() string {
+		ops := []string{"<", "<=", "==", "!=", ">", ">="}
+		base := func() string {
+			switch rng.Intn(3) {
+			case 0:
+				return "p"
+			case 1:
+				return fmt.Sprintf("x %s %d", ops[rng.Intn(len(ops))], rng.Intn(5))
+			default:
+				return fmt.Sprintf("%s %s %d", shared[rng.Intn(2)], ops[rng.Intn(len(ops))], rng.Intn(5))
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("(%s && %s)", base(), base())
+		case 1:
+			return fmt.Sprintf("(%s || !(%s))", base(), base())
+		default:
+			return base()
+		}
+	}
+	var stmt func(depth int) string
+	stmt = func(depth int) string {
+		switch r := rng.Intn(10); {
+		case r < 3:
+			return fmt.Sprintf("%s = %s;", shared[rng.Intn(2)], expr())
+		case r < 5:
+			return fmt.Sprintf("x = %s;", expr())
+		case r < 6:
+			switch rng.Intn(3) {
+			case 0:
+				return "p = *;"
+			case 1:
+				return fmt.Sprintf("p = %s;", map[bool]string{true: "true", false: "false"}[rng.Intn(2) == 0])
+			default:
+				return "x = *;"
+			}
+		case r < 8 && depth < 2:
+			return fmt.Sprintf("if (%s) { %s } else { %s }", cond(), stmt(depth+1), stmt(depth+1))
+		default:
+			return fmt.Sprintf("assert(%s);", cond())
+		}
+	}
+	body := func(n int) string {
+		s := "int x;\nbool p;\n" // uninitialised!
+		for i := 0; i < n; i++ {
+			s += stmt(0) + "\n"
+		}
+		return s
+	}
+	nWorkers := 1 + rng.Intn(2)
+	src := "int a, b;\n"
+	for w := 0; w < nWorkers; w++ {
+		src += fmt.Sprintf("void w%d() {\n%s}\n", w, body(1+rng.Intn(3)))
+	}
+	src += "void main() {\nint t0, t1;\n" + body(1+rng.Intn(2))
+	for w := 0; w < nWorkers; w++ {
+		src += fmt.Sprintf("t%d = create(w%d);\n", w, w)
+	}
+	src += "}\n"
+	return src
+}
+
+func TestFuzzValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7777))
+	for iter := 0; iter < 400; iter++ {
+		src := genProgramNondet(rng)
+		p, err := prog.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, err := unfold.Unfold(p, unfold.Options{Unwind: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := flatten.Flatten(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := vc.Encode(fp, vc.Options{Contexts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sat.NewFromFormula(enc.Formula(), sat.Options{})
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != sat.Sat {
+			continue
+		}
+		tr := Decode(enc, s.Model())
+		viol, verr := Validate(enc, tr)
+		if verr != nil || viol == nil {
+			t.Fatalf("iter %d: SAT but replay gave viol=%v err=%v\nprogram:\n%s\nschedule: %v",
+				iter, viol, verr, src, tr)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package trace converts satisfying assignments of the verification
+// condition back into concrete error traces (Sect. 2.3: "any satisfying
+// assignment ... can be converted into an error trace"), and validates
+// them by replaying the decoded schedule on the concrete interpreter.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/vc"
+)
+
+// Trace is a decoded counterexample: a schedule (the tid[c] and cs[c]
+// choices of the context-bounded scheduler) plus the values of every
+// non-deterministic input.
+type Trace struct {
+	// Schedule lists the scheduler choices per execution context.
+	Schedule []interp.ContextChoice
+	// Nondet holds the value chosen for each non-deterministic
+	// assignment instance.
+	Nondet map[vc.NondetKey]int64
+	// InitScalars / InitArrays hold the initial values of local
+	// variables (paper semantics: locals start non-deterministic).
+	InitScalars map[string]int64
+	InitArrays  map[string][]int64
+}
+
+// String renders the schedule in a human-readable form.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, c := range t.Schedule {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "t%d→%d", c.Thread, c.Cs)
+	}
+	return b.String()
+}
+
+// Decode extracts the error trace from a model of the encoded formula.
+func Decode(enc *vc.Encoded, model []bool) *Trace {
+	c := enc.Ctx
+	tr := &Trace{
+		Nondet:      map[vc.NondetKey]int64{},
+		InitScalars: map[string]int64{},
+		InitArrays:  map[string][]int64{},
+	}
+	for i := range enc.TidVecs {
+		tid := int(c.EvalVec(enc.TidVecs[i], model))
+		cs := int(c.EvalVec(enc.CsVecs[i], model))
+		tr.Schedule = append(tr.Schedule, interp.ContextChoice{Thread: tid, Cs: cs})
+	}
+	for k, v := range enc.Nondet {
+		tr.Nondet[k] = c.EvalSigned(v, model)
+	}
+	for name, v := range enc.InitScalars {
+		tr.InitScalars[name] = c.EvalSigned(v, model)
+	}
+	for name, vs := range enc.InitArrays {
+		vals := make([]int64, len(vs))
+		for i, v := range vs {
+			vals[i] = c.EvalSigned(v, model)
+		}
+		tr.InitArrays[name] = vals
+	}
+	return tr
+}
+
+// Validate replays the trace on the concrete interpreter and returns the
+// assertion violation it reaches. On success the trace's schedule is
+// truncated at the violating context (the scheduler words of later
+// contexts are unconstrained by the encoding and carry no information).
+// A nil violation with a nil error means the schedule ran to completion
+// without failure, which would indicate an encoder bug when the formula
+// was satisfiable.
+func Validate(enc *vc.Encoded, tr *Trace) (*interp.Violation, error) {
+	st := interp.NewState(enc.Program, interp.Options{Width: enc.Opts.Width})
+	for name, v := range tr.InitScalars {
+		st.SetVar(name, v)
+	}
+	for name, vals := range tr.InitArrays {
+		for i, v := range vals {
+			st.SetArrayElem(name, i, v)
+		}
+	}
+	oracle := func(thread, block, step int) int64 {
+		return tr.Nondet[vc.NondetKey{Thread: thread, Block: block, Step: step}]
+	}
+	for i, c := range tr.Schedule {
+		err := st.ExecContext(c.Thread, c.Cs, oracle)
+		if v, ok := err.(*interp.Violation); ok {
+			tr.Schedule = tr.Schedule[:i+1]
+			return v, nil
+		}
+		if err == interp.ErrInfeasible {
+			return nil, fmt.Errorf("trace: decoded schedule infeasible at context %d (encoder/decoder mismatch)", i)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}

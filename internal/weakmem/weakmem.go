@@ -1,0 +1,452 @@
+// Package weakmem implements weak-memory analysis by program
+// transformation, the approach the paper points to in Sect. 5/6 (Alglave
+// et al. [4]; Tomasco et al. [52]): reasoning about a program under a
+// weak consistency model soundly reduces to reasoning about a
+// transformed program under sequential consistency, and because the
+// transformation does not touch the scheduler it is modular with respect
+// to the trace-space partitioning.
+//
+// The transformation models PSO (partial store order) with per-thread,
+// per-variable store buffers of depth one:
+//
+//   - a store to a shared scalar goes into a thread-local buffer
+//     (invisible to other threads) instead of memory;
+//   - a load of a shared scalar forwards from the thread's own buffer
+//     when it holds a pending store, otherwise reads memory;
+//   - before every access to shared state the thread may
+//     non-deterministically flush any subset of its pending stores
+//     (per-variable independence is exactly PSO's reordering freedom);
+//   - a second store to an already-buffered variable forces a flush
+//     first, preserving per-location program order (the depth bound is
+//     the usual bounded under-approximation of the buffer);
+//   - lock/unlock, create/join, and atomic blocks act as full fences,
+//     and every thread flushes its buffers before terminating.
+//
+// TSO differs from PSO only by enforcing FIFO order between stores to
+// different locations; the per-variable buffers deliberately drop that
+// constraint, so the classic message-passing litmus test fails here
+// while it would pass under TSO (see the package tests).
+package weakmem
+
+import (
+	"fmt"
+
+	"repro/prog"
+)
+
+// Transform returns a new program whose SC behaviours are the PSO
+// behaviours of p. Only scalar globals are buffered; arrays and mutexes
+// retain their SC semantics (as in the cited encodings, synchronisation
+// objects are fenced anyway). Each procedure must be used by at most one
+// thread (the transformation gives every procedure one private buffer
+// set); the checker's rules otherwise apply unchanged.
+func Transform(p *prog.Program) (*prog.Program, error) {
+	t := &transformer{src: p}
+	for _, g := range p.Globals {
+		if g.Type.Kind == prog.KindMutex || g.Type.IsArray() {
+			continue
+		}
+		t.buffered = append(t.buffered, g)
+	}
+	out := &prog.Program{
+		Name:    p.Name + "-pso",
+		Globals: append([]prog.Decl{}, p.Globals...),
+	}
+	for _, pr := range p.Procs {
+		np, err := t.proc(pr)
+		if err != nil {
+			return nil, err
+		}
+		out.Procs = append(out.Procs, np)
+	}
+	if err := prog.Check(out); err != nil {
+		return nil, fmt.Errorf("weakmem: transformed program invalid: %w", err)
+	}
+	return out, nil
+}
+
+type transformer struct {
+	src      *prog.Program
+	buffered []prog.Decl
+	fresh    int
+}
+
+func (t *transformer) isBuffered(name string) (prog.Decl, bool) {
+	for _, g := range t.buffered {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return prog.Decl{}, false
+}
+
+func bufName(g string) string   { return "wmbuf_" + g }
+func dirtyName(g string) string { return "wmdirty_" + g }
+
+func (t *transformer) freshName(hint string) string {
+	t.fresh++
+	return fmt.Sprintf("wm%s%d", hint, t.fresh)
+}
+
+// proc transforms one procedure body.
+func (t *transformer) proc(pr *prog.Proc) (*prog.Proc, error) {
+	np := &prog.Proc{
+		Name:   pr.Name,
+		Params: append([]prog.Decl{}, pr.Params...),
+		Ret:    pr.Ret,
+		Locals: append([]prog.Decl{}, pr.Locals...),
+	}
+	// Private store buffer per shared scalar.
+	for _, g := range t.buffered {
+		np.Locals = append(np.Locals,
+			prog.Decl{Name: bufName(g.Name), Type: prog.Type{Kind: g.Type.Kind}},
+			prog.Decl{Name: dirtyName(g.Name), Type: prog.Bool},
+		)
+	}
+	// Buffers start empty (locals are non-deterministic by default, so
+	// the dirty flags must be cleared explicitly).
+	var init []prog.Stmt
+	for _, g := range t.buffered {
+		init = append(init, &prog.AssignStmt{
+			LHS: &prog.VarRef{Name: dirtyName(g.Name)},
+			RHS: &prog.BoolLit{Value: false},
+		})
+	}
+	body, err := t.stmts(np, pr.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Terminating threads drain their buffers (their stores must become
+	// visible before join-ordered code runs).
+	np.Body = append(init, append(body, t.flushAll(np)...)...)
+	return np, nil
+}
+
+func (t *transformer) stmts(np *prog.Proc, in []prog.Stmt) ([]prog.Stmt, error) {
+	var out []prog.Stmt
+	for _, s := range in {
+		ns, err := t.stmt(np, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ns...)
+	}
+	return out, nil
+}
+
+// maybeFlush emits the non-deterministic flush point: each pending store
+// may independently drain to memory (PSO freedom).
+func (t *transformer) maybeFlush(np *prog.Proc) []prog.Stmt {
+	var out []prog.Stmt
+	for _, g := range t.buffered {
+		choice := t.freshName("fl")
+		np.Locals = append(np.Locals, prog.Decl{Name: choice, Type: prog.Bool})
+		out = append(out,
+			&prog.AssignStmt{LHS: &prog.VarRef{Name: choice}, RHS: &prog.Nondet{}},
+			&prog.IfStmt{
+				Cond: &prog.BinaryExpr{Op: prog.OpLAnd,
+					X: &prog.VarRef{Name: choice},
+					Y: &prog.VarRef{Name: dirtyName(g.Name)}},
+				Then: t.drain(g),
+			},
+		)
+	}
+	return out
+}
+
+// flushAll drains every pending store (a full fence). A
+// non-deterministic flush round precedes the deterministic drain so the
+// stores can become visible in any order (PSO does not order stores to
+// different locations), with context switches possible between the
+// individual drains.
+func (t *transformer) flushAll(np *prog.Proc) []prog.Stmt {
+	out := t.maybeFlush(np)
+	for _, g := range t.buffered {
+		out = append(out, &prog.IfStmt{
+			Cond: &prog.VarRef{Name: dirtyName(g.Name)},
+			Then: t.drain(g),
+		})
+	}
+	return out
+}
+
+// drain writes the buffered value to memory and clears the dirty bit.
+func (t *transformer) drain(g prog.Decl) []prog.Stmt {
+	return []prog.Stmt{
+		&prog.AssignStmt{LHS: &prog.VarRef{Name: g.Name}, RHS: &prog.VarRef{Name: bufName(g.Name)}},
+		&prog.AssignStmt{LHS: &prog.VarRef{Name: dirtyName(g.Name)}, RHS: &prog.BoolLit{Value: false}},
+	}
+}
+
+// rewriteReads replaces every read of a buffered global in e with a
+// fresh local that is loaded beforehand with store-forwarding semantics.
+// The returned prelude performs the loads.
+func (t *transformer) rewriteReads(np *prog.Proc, e prog.Expr) ([]prog.Stmt, prog.Expr, error) {
+	var prelude []prog.Stmt
+	loaded := map[string]string{} // global -> temp holding its value
+	var walk func(x prog.Expr) (prog.Expr, error)
+	walk = func(x prog.Expr) (prog.Expr, error) {
+		switch ex := x.(type) {
+		case nil:
+			return nil, nil
+		case *prog.IntLit, *prog.BoolLit, *prog.Nondet:
+			return ex, nil
+		case *prog.VarRef:
+			g, ok := t.isBuffered(ex.Name)
+			if !ok {
+				return ex, nil
+			}
+			tmp, seen := loaded[ex.Name]
+			if !seen {
+				tmp = t.freshName("ld")
+				loaded[ex.Name] = tmp
+				np.Locals = append(np.Locals, prog.Decl{Name: tmp, Type: prog.Type{Kind: g.Type.Kind}})
+				// tmp = dirty ? buf : memory (store forwarding).
+				prelude = append(prelude, &prog.IfStmt{
+					Cond: &prog.VarRef{Name: dirtyName(ex.Name)},
+					Then: []prog.Stmt{&prog.AssignStmt{
+						LHS: &prog.VarRef{Name: tmp},
+						RHS: &prog.VarRef{Name: bufName(ex.Name)},
+					}},
+					Else: []prog.Stmt{&prog.AssignStmt{
+						LHS: &prog.VarRef{Name: tmp},
+						RHS: &prog.VarRef{Name: ex.Name},
+					}},
+				})
+			}
+			return &prog.VarRef{Name: tmp}, nil
+		case *prog.IndexRef:
+			idx, err := walk(ex.Index)
+			if err != nil {
+				return nil, err
+			}
+			return &prog.IndexRef{Name: ex.Name, Index: idx}, nil
+		case *prog.UnaryExpr:
+			inner, err := walk(ex.X)
+			if err != nil {
+				return nil, err
+			}
+			return &prog.UnaryExpr{Op: ex.Op, X: inner}, nil
+		case *prog.BinaryExpr:
+			xx, err := walk(ex.X)
+			if err != nil {
+				return nil, err
+			}
+			yy, err := walk(ex.Y)
+			if err != nil {
+				return nil, err
+			}
+			return &prog.BinaryExpr{Op: ex.Op, X: xx, Y: yy}, nil
+		}
+		return nil, fmt.Errorf("weakmem: unknown expression %T", e)
+	}
+	ne, err := walk(e)
+	return prelude, ne, err
+}
+
+func (t *transformer) stmt(np *prog.Proc, s prog.Stmt) ([]prog.Stmt, error) {
+	switch st := s.(type) {
+	case *prog.AssignStmt:
+		var out []prog.Stmt
+		touches := t.touchesBuffered(st.RHS) || t.lvalueBuffered(st.LHS)
+		if touches {
+			out = append(out, t.maybeFlush(np)...)
+		}
+		prelude, rhs, err := t.rewriteReads(np, st.RHS)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prelude...)
+		if v, ok := st.LHS.(*prog.VarRef); ok {
+			if g, buffered := t.isBuffered(v.Name); buffered {
+				// Store: forced per-location flush, then buffer the value.
+				out = append(out, &prog.IfStmt{
+					Cond: &prog.VarRef{Name: dirtyName(v.Name)},
+					Then: t.drain(g),
+				})
+				out = append(out,
+					&prog.AssignStmt{LHS: &prog.VarRef{Name: bufName(v.Name)}, RHS: rhs},
+					&prog.AssignStmt{LHS: &prog.VarRef{Name: dirtyName(v.Name)}, RHS: &prog.BoolLit{Value: true}},
+				)
+				return out, nil
+			}
+		}
+		lhs := st.LHS
+		if ir, ok := st.LHS.(*prog.IndexRef); ok {
+			ip, idx, err := t.rewriteReads(np, ir.Index)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ip...)
+			lhs = &prog.IndexRef{Name: ir.Name, Index: idx}
+		}
+		out = append(out, &prog.AssignStmt{LHS: lhs, RHS: rhs})
+		return out, nil
+	case *prog.AssumeStmt:
+		return t.condStmt(np, st.Cond, func(c prog.Expr) prog.Stmt { return &prog.AssumeStmt{Cond: c} })
+	case *prog.AssertStmt:
+		return t.condStmt(np, st.Cond, func(c prog.Expr) prog.Stmt { return &prog.AssertStmt{Cond: c} })
+	case *prog.IfStmt:
+		var out []prog.Stmt
+		if t.touchesBuffered(st.Cond) {
+			out = append(out, t.maybeFlush(np)...)
+		}
+		prelude, cond, err := t.rewriteReads(np, st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prelude...)
+		then, err := t.stmts(np, st.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := t.stmts(np, st.Else)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &prog.IfStmt{Cond: cond, Then: then, Else: els})
+		return out, nil
+	case *prog.WhileStmt:
+		// Hoist the condition into a temp re-evaluated at the end of each
+		// iteration, so buffered reads happen at well-defined points.
+		condVar := t.freshName("wc")
+		np.Locals = append(np.Locals, prog.Decl{Name: condVar, Type: prog.Bool})
+		evalCond := func() ([]prog.Stmt, error) {
+			var out []prog.Stmt
+			if t.touchesBuffered(st.Cond) {
+				out = append(out, t.maybeFlush(np)...)
+			}
+			prelude, cond, err := t.rewriteReads(np, st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, prelude...)
+			out = append(out, &prog.AssignStmt{LHS: &prog.VarRef{Name: condVar}, RHS: cond})
+			return out, nil
+		}
+		head, err := evalCond()
+		if err != nil {
+			return nil, err
+		}
+		body, err := t.stmts(np, st.Body)
+		if err != nil {
+			return nil, err
+		}
+		tail, err := evalCond()
+		if err != nil {
+			return nil, err
+		}
+		loop := &prog.WhileStmt{
+			Cond: &prog.VarRef{Name: condVar},
+			Body: append(body, tail...),
+		}
+		return append(head, loop), nil
+	case *prog.CallStmt:
+		// Calls are inlined later; arguments may read buffered globals.
+		var out []prog.Stmt
+		args := make([]prog.Expr, len(st.Args))
+		for i, a := range st.Args {
+			prelude, na, err := t.rewriteReads(np, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, prelude...)
+			args[i] = na
+		}
+		out = append(out, &prog.CallStmt{Proc: st.Proc, Args: args, Result: st.Result})
+		return out, nil
+	case *prog.CreateStmt:
+		// Thread creation is a release fence.
+		var out []prog.Stmt
+		out = append(out, t.flushAll(np)...)
+		args := make([]prog.Expr, len(st.Args))
+		for i, a := range st.Args {
+			prelude, na, err := t.rewriteReads(np, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, prelude...)
+			args[i] = na
+		}
+		out = append(out, &prog.CreateStmt{Tid: st.Tid, Proc: st.Proc, Args: args})
+		return out, nil
+	case *prog.JoinStmt:
+		// Join is an acquire fence (and the joined thread drained its
+		// buffers before terminating).
+		prelude, tid, err := t.rewriteReads(np, st.Tid)
+		if err != nil {
+			return nil, err
+		}
+		out := append(t.flushAll(np), prelude...)
+		return append(out, &prog.JoinStmt{Tid: tid}), nil
+	case *prog.LockStmt:
+		return append(t.flushAll(np), st), nil
+	case *prog.UnlockStmt:
+		return append(t.flushAll(np), st), nil
+	case *prog.InitStmt, *prog.DestroyStmt:
+		return []prog.Stmt{st}, nil
+	case *prog.AtomicStmt:
+		// Atomic blocks are fenced and execute with SC semantics inside.
+		body := append(t.flushAll(np), st.Body...)
+		return []prog.Stmt{&prog.AtomicStmt{Body: body}}, nil
+	case *prog.ReturnStmt:
+		// Drain before leaving the procedure.
+		var out []prog.Stmt
+		out = append(out, t.flushAll(np)...)
+		if st.Value != nil {
+			prelude, v, err := t.rewriteReads(np, st.Value)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, prelude...)
+			out = append(out, &prog.ReturnStmt{Value: v})
+			return out, nil
+		}
+		return append(out, st), nil
+	case *prog.BlockStmt:
+		body, err := t.stmts(np, st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return []prog.Stmt{&prog.BlockStmt{Body: body}}, nil
+	}
+	return nil, fmt.Errorf("weakmem: unknown statement %T", s)
+}
+
+func (t *transformer) condStmt(np *prog.Proc, cond prog.Expr, mk func(prog.Expr) prog.Stmt) ([]prog.Stmt, error) {
+	var out []prog.Stmt
+	if t.touchesBuffered(cond) {
+		out = append(out, t.maybeFlush(np)...)
+	}
+	prelude, c, err := t.rewriteReads(np, cond)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, prelude...)
+	return append(out, mk(c)), nil
+}
+
+func (t *transformer) touchesBuffered(e prog.Expr) bool {
+	switch x := e.(type) {
+	case nil, *prog.IntLit, *prog.BoolLit, *prog.Nondet:
+		return false
+	case *prog.VarRef:
+		_, ok := t.isBuffered(x.Name)
+		return ok
+	case *prog.IndexRef:
+		return t.touchesBuffered(x.Index)
+	case *prog.UnaryExpr:
+		return t.touchesBuffered(x.X)
+	case *prog.BinaryExpr:
+		return t.touchesBuffered(x.X) || t.touchesBuffered(x.Y)
+	}
+	return false
+}
+
+func (t *transformer) lvalueBuffered(e prog.Expr) bool {
+	if v, ok := e.(*prog.VarRef); ok {
+		_, buffered := t.isBuffered(v.Name)
+		return buffered
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+package prog
+
+import "fmt"
+
+// Builder constructs programs programmatically, as an alternative to the
+// textual front end. Errors are accumulated and reported by Build, so
+// construction chains need no intermediate checks:
+//
+//	b := prog.NewBuilder("example")
+//	b.Global("g", prog.Int)
+//	w := b.Proc("worker", prog.Void, prog.Decl{Name: "n", Type: prog.Int})
+//	w.Assign("g", prog.Add(prog.V("g"), prog.V("n")))
+//	m := b.Proc("main", prog.Void)
+//	m.Local("t", prog.Int)
+//	m.Create("t", "worker", prog.I(1))
+//	m.Join(prog.V("t"))
+//	m.Assert(prog.Eq(prog.V("g"), prog.I(1)))
+//	p, err := b.Build() // runs the semantic checker
+type Builder struct {
+	prog *Program
+	errs []error
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// Global declares a shared variable.
+func (b *Builder) Global(name string, t Type) *Builder {
+	b.prog.Globals = append(b.prog.Globals, Decl{Name: name, Type: t})
+	return b
+}
+
+// Proc starts a procedure; statements are added through the returned
+// ProcBuilder.
+func (b *Builder) Proc(name string, ret Type, params ...Decl) *ProcBuilder {
+	pr := &Proc{Name: name, Ret: ret, Params: params}
+	b.prog.Procs = append(b.prog.Procs, pr)
+	return &ProcBuilder{b: b, proc: pr, stmts: &pr.Body}
+}
+
+// Build checks and returns the constructed program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := Check(b.prog); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build panicking on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (b *Builder) errf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf("prog: builder: "+format, args...))
+}
+
+// ProcBuilder appends statements to a procedure (or to a nested block).
+type ProcBuilder struct {
+	b     *Builder
+	proc  *Proc
+	stmts *[]Stmt
+}
+
+func (p *ProcBuilder) append(s Stmt) *ProcBuilder {
+	*p.stmts = append(*p.stmts, s)
+	return p
+}
+
+// Local declares a procedure-local variable.
+func (p *ProcBuilder) Local(name string, t Type) *ProcBuilder {
+	p.proc.Locals = append(p.proc.Locals, Decl{Name: name, Type: t})
+	return p
+}
+
+// Assign emits name = rhs.
+func (p *ProcBuilder) Assign(name string, rhs Expr) *ProcBuilder {
+	return p.append(&AssignStmt{LHS: &VarRef{Name: name}, RHS: rhs})
+}
+
+// AssignIdx emits arr[idx] = rhs.
+func (p *ProcBuilder) AssignIdx(arr string, idx, rhs Expr) *ProcBuilder {
+	return p.append(&AssignStmt{LHS: &IndexRef{Name: arr, Index: idx}, RHS: rhs})
+}
+
+// Havoc emits name = * (non-deterministic assignment).
+func (p *ProcBuilder) Havoc(name string) *ProcBuilder {
+	return p.Assign(name, &Nondet{})
+}
+
+// Assume emits assume(cond).
+func (p *ProcBuilder) Assume(cond Expr) *ProcBuilder {
+	return p.append(&AssumeStmt{Cond: cond})
+}
+
+// Assert emits assert(cond).
+func (p *ProcBuilder) Assert(cond Expr) *ProcBuilder {
+	return p.append(&AssertStmt{Cond: cond})
+}
+
+// Return emits return (value may be nil).
+func (p *ProcBuilder) Return(value Expr) *ProcBuilder {
+	return p.append(&ReturnStmt{Value: value})
+}
+
+// Call emits a procedure call; result may be "" for a bare call.
+func (p *ProcBuilder) Call(result, proc string, args ...Expr) *ProcBuilder {
+	c := &CallStmt{Proc: proc, Args: args}
+	if result != "" {
+		c.Result = &VarRef{Name: result}
+	}
+	return p.append(c)
+}
+
+// If emits a conditional; the callbacks populate the branches (els may
+// be nil).
+func (p *ProcBuilder) If(cond Expr, then func(*ProcBuilder), els func(*ProcBuilder)) *ProcBuilder {
+	s := &IfStmt{Cond: cond}
+	tb := &ProcBuilder{b: p.b, proc: p.proc, stmts: &s.Then}
+	then(tb)
+	if els != nil {
+		eb := &ProcBuilder{b: p.b, proc: p.proc, stmts: &s.Else}
+		els(eb)
+	}
+	return p.append(s)
+}
+
+// While emits a loop.
+func (p *ProcBuilder) While(cond Expr, body func(*ProcBuilder)) *ProcBuilder {
+	s := &WhileStmt{Cond: cond}
+	bb := &ProcBuilder{b: p.b, proc: p.proc, stmts: &s.Body}
+	body(bb)
+	return p.append(s)
+}
+
+// Atomic emits an atomic block.
+func (p *ProcBuilder) Atomic(body func(*ProcBuilder)) *ProcBuilder {
+	s := &AtomicStmt{}
+	bb := &ProcBuilder{b: p.b, proc: p.proc, stmts: &s.Body}
+	body(bb)
+	return p.append(s)
+}
+
+// Create emits tidVar = create(proc, args...).
+func (p *ProcBuilder) Create(tidVar, proc string, args ...Expr) *ProcBuilder {
+	return p.append(&CreateStmt{Tid: &VarRef{Name: tidVar}, Proc: proc, Args: args})
+}
+
+// Join emits join(tid).
+func (p *ProcBuilder) Join(tid Expr) *ProcBuilder {
+	return p.append(&JoinStmt{Tid: tid})
+}
+
+// Lock emits lock(m).
+func (p *ProcBuilder) Lock(m string) *ProcBuilder { return p.append(&LockStmt{Mutex: m}) }
+
+// Unlock emits unlock(m).
+func (p *ProcBuilder) Unlock(m string) *ProcBuilder { return p.append(&UnlockStmt{Mutex: m}) }
+
+// --- expression helpers ---
+
+// V references a scalar variable.
+func V(name string) Expr { return &VarRef{Name: name} }
+
+// Idx references an array element.
+func Idx(name string, index Expr) Expr { return &IndexRef{Name: name, Index: index} }
+
+// I is an integer literal.
+func I(v int64) Expr { return &IntLit{Value: v} }
+
+// Bl is a Boolean literal.
+func Bl(v bool) Expr { return &BoolLit{Value: v} }
+
+// Nd is the non-deterministic value.
+func Nd() Expr { return &Nondet{} }
+
+func bin(op BinOp, x, y Expr) Expr { return &BinaryExpr{Op: op, X: x, Y: y} }
+
+// Add returns x + y.
+func Add(x, y Expr) Expr { return bin(OpAdd, x, y) }
+
+// Sub returns x - y.
+func Sub(x, y Expr) Expr { return bin(OpSub, x, y) }
+
+// Mul returns x * y.
+func Mul(x, y Expr) Expr { return bin(OpMul, x, y) }
+
+// Lt returns x < y.
+func Lt(x, y Expr) Expr { return bin(OpLt, x, y) }
+
+// Le returns x <= y.
+func Le(x, y Expr) Expr { return bin(OpLe, x, y) }
+
+// Gt returns x > y.
+func Gt(x, y Expr) Expr { return bin(OpGt, x, y) }
+
+// Ge returns x >= y.
+func Ge(x, y Expr) Expr { return bin(OpGe, x, y) }
+
+// Eq returns x == y.
+func Eq(x, y Expr) Expr { return bin(OpEq, x, y) }
+
+// Ne returns x != y.
+func Ne(x, y Expr) Expr { return bin(OpNe, x, y) }
+
+// LAnd returns x && y.
+func LAnd(x, y Expr) Expr { return bin(OpLAnd, x, y) }
+
+// LOr returns x || y.
+func LOr(x, y Expr) Expr { return bin(OpLOr, x, y) }
+
+// Not returns !x.
+func Not(x Expr) Expr { return &UnaryExpr{Op: OpNot, X: x} }
+
+// Neg returns -x.
+func Neg(x Expr) Expr { return &UnaryExpr{Op: OpNeg, X: x} }

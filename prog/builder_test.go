@@ -1,0 +1,140 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFib reconstructs the Fibonacci program with the builder API.
+func buildFib() (*Program, error) {
+	b := NewBuilder("fibonacci")
+	b.Global("i", Int).Global("j", Int)
+
+	t1 := b.Proc("t1", Void)
+	t1.Local("k", Int)
+	t1.Assign("k", I(0))
+	t1.While(Lt(V("k"), I(1)), func(p *ProcBuilder) {
+		p.Assign("i", Add(V("i"), V("j")))
+		p.Assign("k", Add(V("k"), I(1)))
+	})
+
+	t2 := b.Proc("t2", Void)
+	t2.Local("k", Int)
+	t2.Assign("k", I(0))
+	t2.While(Lt(V("k"), I(1)), func(p *ProcBuilder) {
+		p.Assign("j", Add(V("j"), V("i")))
+		p.Assign("k", Add(V("k"), I(1)))
+	})
+
+	m := b.Proc("main", Void)
+	m.Local("tid1", Int).Local("tid2", Int)
+	m.Assign("i", I(1)).Assign("j", I(1))
+	m.Create("tid1", "t1")
+	m.Create("tid2", "t2")
+	m.Join(V("tid1"))
+	m.Join(V("tid2"))
+	m.Assert(Lt(V("j"), I(3)))
+	m.Assert(Lt(V("i"), I(3)))
+	return b.Build()
+}
+
+func TestBuilderFibonacci(t *testing.T) {
+	p, err := buildFib()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "fibonacci" || len(p.Procs) != 3 || len(p.Globals) != 2 {
+		t.Fatalf("structure: %+v", p)
+	}
+	// Its formatted source must parse back.
+	if _, err := Parse(Format(p)); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, Format(p))
+	}
+}
+
+func TestBuilderChecksSemantic(t *testing.T) {
+	b := NewBuilder("bad")
+	m := b.Proc("main", Void)
+	m.Assign("undeclared", I(1))
+	if _, err := b.Build(); err == nil {
+		t.Fatal("checker not run")
+	}
+}
+
+func TestBuilderMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Proc("main", Void).Assign("x", I(1))
+	b.MustBuild()
+}
+
+func TestBuilderAllStatements(t *testing.T) {
+	b := NewBuilder("all")
+	b.Global("m", Mutex).Global("g", Int).Global("a", IntArray(3)).Global("flag", Bool)
+
+	tw := b.Proc("twice", Int, Decl{Name: "x", Type: Int})
+	tw.Return(Add(V("x"), V("x")))
+
+	w := b.Proc("w", Void, Decl{Name: "n", Type: Int})
+	w.Lock("m")
+	w.AssignIdx("a", V("n"), V("n"))
+	w.Unlock("m")
+	w.Atomic(func(p *ProcBuilder) {
+		p.Assign("g", Add(V("g"), I(1)))
+		p.Assign("flag", Bl(true))
+	})
+
+	m := b.Proc("main", Void)
+	m.Local("t", Int).Local("x", Int).Local("ok", Bool)
+	m.Havoc("x")
+	m.Assume(Ge(V("x"), I(0)))
+	m.Assume(Lt(V("x"), I(3)))
+	m.Call("x", "twice", V("x"))
+	m.Create("t", "w", V("x"))
+	m.Join(V("t"))
+	m.Assign("ok", LAnd(LOr(V("flag"), Bl(true)), Not(Eq(V("g"), Neg(I(1))))))
+	m.If(V("ok"), func(p *ProcBuilder) {
+		p.Assert(Ne(V("g"), I(99)))
+	}, func(p *ProcBuilder) {
+		p.Assert(Bl(false))
+	})
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Format(p)
+	for _, want := range []string{"lock(m)", "atomic", "create(w", "join(t)", "assume", "twice"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}
+
+func TestExprHelpers(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Add(I(1), I(2)), "(1 + 2)"},
+		{Sub(V("x"), I(1)), "(x - 1)"},
+		{Mul(I(2), I(3)), "(2 * 3)"},
+		{Le(V("x"), I(4)), "(x <= 4)"},
+		{Gt(V("x"), I(4)), "(x > 4)"},
+		{Idx("a", I(0)), "a[0]"},
+		{Nd(), "*"},
+		{Bl(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%q != %q", got, c.want)
+		}
+	}
+}

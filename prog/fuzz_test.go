@@ -1,0 +1,40 @@
+package prog
+
+import "testing"
+
+// FuzzParse checks that the front end never panics and that accepted
+// programs survive a print/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"void main() { }",
+		"int g; void main() { g = 1; assert(g == 1); }",
+		"mutex m; void main() { lock(m); unlock(m); }",
+		"int a[3]; void main() { int i; i = *; a[i] = 1; }",
+		"void w() { } void main() { int t; t = create(w); join(t); }",
+		"void main() { if (true) { } else { while (false) { } } }",
+		"void main() { atomic { } }",
+		"int g; void main() { g = 1 + 2 * 3 - -4 / 2 % 2 << 1 >> 1; }",
+		"void main() { assert(1 < 2 && true || !false); }",
+		"int x; void main() { /* comment */ // line\n }",
+		"void main() { int x = 5, y; y = x; }",
+		"int f(int n) { if (n > 0) { return f(n - 1); } return 0; }\nvoid main() { int x; x = f(3); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		formatted := Format(p)
+		p2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("re-parse of formatted output failed: %v\ninput: %q\nformatted:\n%s", err, src, formatted)
+		}
+		if Format(p2) != formatted {
+			t.Fatalf("Format not a fixpoint for %q", src)
+		}
+	})
+}

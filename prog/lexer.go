@@ -1,0 +1,154 @@
+package prog
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"void": true, "bool": true, "int": true, "mutex": true,
+	"if": true, "else": true, "while": true, "return": true,
+	"assume": true, "assert": true, "create": true, "join": true,
+	"lock": true, "unlock": true, "init": true, "destroy": true,
+	"atomic": true, "true": true, "false": true,
+}
+
+// twoCharPuncts are the multi-character operators, checked before
+// single-character ones.
+var twoCharPuncts = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1, col: 1}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.advance()
+			}
+			word := string(l.src[start:l.pos])
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			l.emitAt(kind, word, l.col-len(word))
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+				l.advance()
+			}
+			num := string(l.src[start:l.pos])
+			l.emitAt(tokNumber, num, l.col-len(num))
+		default:
+			if p, ok := l.matchTwoChar(); ok {
+				l.emitAt(tokPunct, p, l.col-2)
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+				'=', '(', ')', '{', '}', '[', ']', ';', ',':
+				l.advance()
+				l.emitAt(tokPunct, string(c), l.col-1)
+			default:
+				return nil, fmt.Errorf("prog: %d:%d: unexpected character %q", l.line, l.col, c)
+			}
+		}
+	}
+}
+
+func (l *lexer) matchTwoChar() (string, bool) {
+	if l.pos+1 >= len(l.src) {
+		return "", false
+	}
+	pair := string(l.src[l.pos : l.pos+2])
+	for _, p := range twoCharPuncts {
+		if pair == p {
+			l.advance()
+			l.advance()
+			return p, true
+		}
+	}
+	return "", false
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.advance()
+			}
+			if l.pos+1 < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind, text, l.line, l.col})
+}
+
+func (l *lexer) emitAt(kind tokenKind, text string, col int) {
+	l.toks = append(l.toks, token{kind, text, l.line, col})
+}

@@ -1,0 +1,656 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a program in the concrete C-like syntax of the paper.
+// The result is checked for semantic validity (see Check).
+func Parse(src string) (*Program, error) {
+	p, err := ParseUnchecked(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseUnchecked parses without running the semantic checker.
+func ParseUnchecked(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parser{toks: toks}
+	prog, err := pr.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and for
+// the built-in benchmark programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("prog: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, p.cur())
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == s
+}
+
+func (p *parser) atType() bool {
+	return p.isKeyword("void") || p.isKeyword("bool") || p.isKeyword("int") || p.isKeyword("mutex")
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.next()
+	switch t.text {
+	case "void":
+		return Void, nil
+	case "bool":
+		return Bool, nil
+	case "int":
+		return Int, nil
+	case "mutex":
+		return Mutex, nil
+	}
+	return Void, p.errf("expected a type, found %s", t)
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		if !p.atType() {
+			return nil, p.errf("expected a declaration or procedure, found %s", p.cur())
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected an identifier, found %s", p.cur())
+		}
+		name := p.next().text
+		if p.isPunct("(") {
+			proc, err := p.parseProcRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, proc)
+			continue
+		}
+		decls, err := p.parseDeclRest(typ, name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, decls...)
+	}
+	return prog, nil
+}
+
+// parseDeclRest parses the remainder of "type name ..." declarations:
+// optional [N], optional comma-separated further names, terminating ';'.
+// Initialisers are not allowed at global scope (globals are zero).
+func (p *parser) parseDeclRest(typ Type, firstName string) ([]Decl, error) {
+	var out []Decl
+	name := firstName
+	for {
+		t := typ
+		if p.isPunct("[") {
+			p.next()
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("expected array length, found %s", p.cur())
+			}
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil || n <= 0 {
+				return nil, p.errf("invalid array length")
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			t.ArrayLen = n
+		}
+		out = append(out, Decl{Name: name, Type: t})
+		if p.isPunct(",") {
+			p.next()
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected an identifier, found %s", p.cur())
+			}
+			name = p.next().text
+			continue
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) parseProcRest(ret Type, name string) (*Proc, error) {
+	proc := &Proc{Name: name, Ret: ret}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		if len(proc.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		if !p.atType() {
+			return nil, p.errf("expected a parameter type, found %s", p.cur())
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected a parameter name, found %s", p.cur())
+		}
+		proc.Params = append(proc.Params, Decl{Name: p.next().text, Type: typ})
+	}
+	p.next() // ')'
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody(proc)
+	if err != nil {
+		return nil, err
+	}
+	proc.Body = body
+	return proc, nil
+}
+
+// parseBody parses statements until '}'. Declarations may appear anywhere
+// and are hoisted to the procedure's locals; initialisers become ordinary
+// assignments in place.
+func (p *parser) parseBody(proc *Proc) ([]Stmt, error) {
+	var out []Stmt
+	for !p.isPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unexpected end of input, missing '}'")
+		}
+		if p.atType() {
+			stmts, err := p.parseLocalDecl(proc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmts...)
+			continue
+		}
+		s, err := p.parseStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // '}'
+	return out, nil
+}
+
+func (p *parser) parseLocalDecl(proc *Proc) ([]Stmt, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	var inits []Stmt
+	for {
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected an identifier, found %s", p.cur())
+		}
+		name := p.next().text
+		t := typ
+		if p.isPunct("[") {
+			p.next()
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("expected array length, found %s", p.cur())
+			}
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil || n <= 0 {
+				return nil, p.errf("invalid array length")
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			t.ArrayLen = n
+		}
+		proc.Locals = append(proc.Locals, Decl{Name: name, Type: t})
+		if p.isPunct("=") {
+			p.next()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			inits = append(inits, &AssignStmt{LHS: &VarRef{Name: name}, RHS: rhs})
+		}
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return inits, nil
+	}
+}
+
+func (p *parser) parseBlockOrStmt(proc *Proc) ([]Stmt, error) {
+	if p.isPunct("{") {
+		p.next()
+		return p.parseBody(proc)
+	}
+	s, err := p.parseStmt(proc)
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt(proc *Proc) (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isPunct("{"):
+		p.next()
+		body, err := p.parseBody(proc)
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{Body: body}, nil
+	case p.isKeyword("if"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlockOrStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.isKeyword("else") {
+			p.next()
+			els, err = p.parseBlockOrStmt(proc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.isKeyword("while"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlockOrStmt(proc)
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.isKeyword("atomic"):
+		p.next()
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBody(proc)
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Body: body}, nil
+	case p.isKeyword("return"):
+		p.next()
+		if p.isPunct(";") {
+			p.next()
+			return &ReturnStmt{}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: e}, nil
+	case p.isKeyword("assume"), p.isKeyword("assert"):
+		kw := p.next().text
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if kw == "assume" {
+			return &AssumeStmt{Cond: cond}, nil
+		}
+		return &AssertStmt{Cond: cond}, nil
+	case p.isKeyword("join"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		tid, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &JoinStmt{Tid: tid}, nil
+	case p.isKeyword("lock"), p.isKeyword("unlock"), p.isKeyword("init"), p.isKeyword("destroy"):
+		kw := p.next().text
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected a mutex name, found %s", p.cur())
+		}
+		m := p.next().text
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "lock":
+			return &LockStmt{Mutex: m}, nil
+		case "unlock":
+			return &UnlockStmt{Mutex: m}, nil
+		case "init":
+			return &InitStmt{Mutex: m}, nil
+		default:
+			return &DestroyStmt{Mutex: m}, nil
+		}
+	case t.kind == tokIdent:
+		// Either a call statement or an assignment.
+		name := p.next().text
+		if p.isPunct("(") {
+			call, err := p.parseCallRest(name, nil)
+			if err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		var lhs LValue = &VarRef{Name: name}
+		if p.isPunct("[") {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			lhs = &IndexRef{Name: name, Index: idx}
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		// RHS may be create(...), a call with result, or an expression
+		// (including the non-deterministic '*').
+		if p.isKeyword("create") {
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected a procedure name, found %s", p.cur())
+			}
+			procName := p.next().text
+			var args []Expr
+			for p.isPunct(",") {
+				p.next()
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &CreateStmt{Tid: lhs, Proc: procName, Args: args}, nil
+		}
+		if p.cur().kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "(" {
+			procName := p.next().text
+			p.next() // '('
+			call, err := p.parseCallRest2(procName, lhs)
+			if err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs}, nil
+	}
+	return nil, p.errf("expected a statement, found %s", t)
+}
+
+// parseCallRest parses "( args ) ;" after a procedure name; the opening
+// parenthesis has not been consumed yet.
+func (p *parser) parseCallRest(name string, result LValue) (Stmt, error) {
+	p.next() // '('
+	return p.parseCallRest2(name, result)
+}
+
+// parseCallRest2 parses "args ) ;" after the opening parenthesis.
+func (p *parser) parseCallRest2(name string, result LValue) (Stmt, error) {
+	var args []Expr
+	for !p.isPunct(")") {
+		if len(args) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next() // ')'
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &CallStmt{Proc: name, Args: args, Result: result}, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var binOpOf = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+	"&&": OpLAnd, "||": OpLOr,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: binOpOf[t.text], X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// Fold negated literals so -8 round-trips as a literal.
+			if lit, ok := x.(*IntLit); ok {
+				return &IntLit{Value: -lit.Value}, nil
+			}
+			return &UnaryExpr{Op: OpNeg, X: x}, nil
+		case "!":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: OpNot, X: x}, nil
+		case "~":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: OpBitNot, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return &IntLit{Value: v}, nil
+	case p.isKeyword("true"):
+		p.next()
+		return &BoolLit{Value: true}, nil
+	case p.isKeyword("false"):
+		p.next()
+		return &BoolLit{Value: false}, nil
+	case p.isPunct("*"):
+		// '*' in expression position is the non-deterministic value.
+		p.next()
+		return &Nondet{}, nil
+	case p.isPunct("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.isPunct("[") {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexRef{Name: t.text, Index: idx}, nil
+		}
+		return &VarRef{Name: t.text}, nil
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

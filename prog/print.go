@@ -1,0 +1,151 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+var unOpStrings = map[UnOp]string{
+	OpNeg:    "-",
+	OpNot:    "!",
+	OpBitNot: "~",
+}
+
+var binOpStrings = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+	OpLAnd: "&&", OpLOr: "||",
+}
+
+func (o UnOp) String() string  { return unOpStrings[o] }
+func (o BinOp) String() string { return binOpStrings[o] }
+
+func (e *IntLit) String() string  { return fmt.Sprintf("%d", e.Value) }
+func (e *BoolLit) String() string { return fmt.Sprintf("%t", e.Value) }
+func (e *Nondet) String() string  { return "*" }
+func (e *VarRef) String() string  { return e.Name }
+func (e *IndexRef) String() string {
+	return fmt.Sprintf("%s[%s]", e.Name, e.Index)
+}
+func (e *UnaryExpr) String() string {
+	return fmt.Sprintf("%s(%s)", e.Op, e.X)
+}
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+}
+
+func (s *AssumeStmt) String() string { return fmt.Sprintf("assume(%s);", s.Cond) }
+func (s *AssertStmt) String() string { return fmt.Sprintf("assert(%s);", s.Cond) }
+func (s *AssignStmt) String() string { return fmt.Sprintf("%s = %s;", s.LHS, s.RHS) }
+func (s *CallStmt) String() string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = a.String()
+	}
+	call := fmt.Sprintf("%s(%s);", s.Proc, strings.Join(args, ", "))
+	if s.Result != nil {
+		return fmt.Sprintf("%s = %s", s.Result, call)
+	}
+	return call
+}
+func (s *ReturnStmt) String() string {
+	if s.Value == nil {
+		return "return;"
+	}
+	return fmt.Sprintf("return %s;", s.Value)
+}
+func (s *IfStmt) String() string {
+	if s.Else == nil {
+		return fmt.Sprintf("if (%s) {...}", s.Cond)
+	}
+	return fmt.Sprintf("if (%s) {...} else {...}", s.Cond)
+}
+func (s *WhileStmt) String() string { return fmt.Sprintf("while (%s) {...}", s.Cond) }
+func (s *CreateStmt) String() string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = a.String()
+	}
+	all := append([]string{s.Proc}, args...)
+	return fmt.Sprintf("%s = create(%s);", s.Tid, strings.Join(all, ", "))
+}
+func (s *JoinStmt) String() string    { return fmt.Sprintf("join(%s);", s.Tid) }
+func (s *LockStmt) String() string    { return fmt.Sprintf("lock(%s);", s.Mutex) }
+func (s *UnlockStmt) String() string  { return fmt.Sprintf("unlock(%s);", s.Mutex) }
+func (s *InitStmt) String() string    { return fmt.Sprintf("init(%s);", s.Mutex) }
+func (s *DestroyStmt) String() string { return fmt.Sprintf("destroy(%s);", s.Mutex) }
+func (s *AtomicStmt) String() string  { return "atomic {...}" }
+func (s *BlockStmt) String() string   { return "{...}" }
+
+// Format renders the whole program as parseable source text.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		writeDecl(&b, "", g)
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, pr := range p.Procs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		formatProc(&b, pr)
+	}
+	return b.String()
+}
+
+func writeDecl(b *strings.Builder, indent string, d Decl) {
+	if d.Type.IsArray() {
+		fmt.Fprintf(b, "%s%s %s[%d];\n", indent, d.Type.Kind, d.Name, d.Type.ArrayLen)
+	} else {
+		fmt.Fprintf(b, "%s%s %s;\n", indent, d.Type.Kind, d.Name)
+	}
+}
+
+func formatProc(b *strings.Builder, pr *Proc) {
+	params := make([]string, len(pr.Params))
+	for i, p := range pr.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Type.Kind, p.Name)
+	}
+	fmt.Fprintf(b, "%s %s(%s) {\n", pr.Ret.Kind, pr.Name, strings.Join(params, ", "))
+	for _, l := range pr.Locals {
+		writeDecl(b, "  ", l)
+	}
+	formatStmts(b, "  ", pr.Body)
+	b.WriteString("}\n")
+}
+
+func formatStmts(b *strings.Builder, indent string, stmts []Stmt) {
+	for _, s := range stmts {
+		formatStmt(b, indent, s)
+	}
+}
+
+func formatStmt(b *strings.Builder, indent string, s Stmt) {
+	switch st := s.(type) {
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, st.Cond)
+		formatStmts(b, indent+"  ", st.Then)
+		if st.Else != nil {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			formatStmts(b, indent+"  ", st.Else)
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *WhileStmt:
+		fmt.Fprintf(b, "%swhile (%s) {\n", indent, st.Cond)
+		formatStmts(b, indent+"  ", st.Body)
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *AtomicStmt:
+		fmt.Fprintf(b, "%satomic {\n", indent)
+		formatStmts(b, indent+"  ", st.Body)
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *BlockStmt:
+		fmt.Fprintf(b, "%s{\n", indent)
+		formatStmts(b, indent+"  ", st.Body)
+		fmt.Fprintf(b, "%s}\n", indent)
+	default:
+		fmt.Fprintf(b, "%s%s\n", indent, s)
+	}
+}
