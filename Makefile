@@ -1,0 +1,18 @@
+# Development targets. `make check` is what CI runs: the distrib layer
+# is concurrency-heavy, so everything gates on the race detector.
+
+.PHONY: build vet test test-race check
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-race:
+	go test -race -timeout 600s ./...
+
+check: build vet test-race

@@ -4,6 +4,11 @@
 // a counterexample. This implements the cross-machine termination that
 // the paper's prototype left as future work.
 //
+// Worker churn is tolerated: failed chunks are retried up to -max-attempts
+// times before being quarantined, stalled workers are evicted by
+// heartbeat (-heartbeat), and the run ends with Unknown plus a failure
+// log — rather than hanging — if no workers remain for -drain-timeout.
+//
 //	coordinator -listen :9731 -i program.mt --unwind 2 --contexts 5 --partitions 16
 package main
 
@@ -14,6 +19,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/distrib"
@@ -29,6 +35,10 @@ func main() {
 		width      = flag.Int("width", 8, "integer bit width")
 		partitions = flag.Int("partitions", 8, "total trace-space partitions (power of two)")
 		chunk      = flag.Int("chunk", 0, "partitions per work unit (default partitions/8)")
+		jobTO      = flag.Duration("job-timeout", 0, "per-job timeout (default 10m)")
+		attempts   = flag.Int("max-attempts", 0, "per-chunk failure budget before quarantine (default 3)")
+		heartbeat  = flag.Duration("heartbeat", 0, "worker heartbeat interval (default 5s, negative disables)")
+		drainTO    = flag.Duration("drain-timeout", 0, "give up when no workers remain for this long (default 30s)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -55,11 +65,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := distrib.Coordinate(ctx, ln, p, distrib.CoordinatorOptions{
-		Unwind:     *unwind,
-		Contexts:   *contexts,
-		Width:      *width,
-		Partitions: *partitions,
-		ChunkSize:  *chunk,
+		Unwind:            *unwind,
+		Contexts:          *contexts,
+		Width:             *width,
+		Partitions:        *partitions,
+		ChunkSize:         *chunk,
+		JobTimeout:        *jobTO,
+		MaxAttempts:       *attempts,
+		HeartbeatInterval: *heartbeat,
+		DrainTimeout:      *drainTO,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -67,6 +81,21 @@ func main() {
 	}
 	fmt.Printf("verdict: %v (winner partition %d, %d jobs, %d reassigned, %v)\n",
 		res.Verdict, res.Winner, res.Jobs, res.Reassigned, res.Wall)
+	if res.Drained {
+		fmt.Println("run drained: chunks were pending but no workers remained connected")
+	}
+	for _, q := range res.Quarantined {
+		last := ""
+		if len(q.Errors) > 0 {
+			last = q.Errors[len(q.Errors)-1]
+		}
+		fmt.Printf("quarantined: partitions [%d,%d] after %d failed attempts (last: %s)\n",
+			q.Chunk.From, q.Chunk.To, q.Attempts, last)
+	}
+	for _, w := range res.Workers {
+		fmt.Printf("worker %s: %d jobs, %d failures, %d connections, last seen %s\n",
+			w.Name, w.Jobs, w.Failures, w.Connections, w.LastSeen.Format(time.TimeOnly))
+	}
 	if res.Verdict == core.Unsafe {
 		os.Exit(1)
 	}

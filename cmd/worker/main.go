@@ -1,9 +1,14 @@
 // Command worker joins a distributed analysis: it connects to a
 // coordinator (cmd/coordinator), receives partition-range jobs, runs the
-// parallel verifier on its local cores, and reports verdicts until the
-// coordinator sends stop.
+// parallel verifier on its local cores, heartbeats while solving, and
+// reports verdicts until the coordinator sends stop. With -reconnect it
+// survives connection loss, redialing with exponential backoff + jitter.
 //
-//	worker -connect host:9731 -cores 4
+// The -fault-* flags drive the deterministic fault-injection harness
+// (drop/stall/corrupt at a chosen job index) used to exercise the
+// coordinator's retry and quarantine paths.
+//
+//	worker -connect host:9731 -cores 4 -reconnect 5
 package main
 
 import (
@@ -12,23 +17,48 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/distrib"
 )
 
 func main() {
 	var (
-		connect = flag.String("connect", "127.0.0.1:9731", "coordinator address")
-		cores   = flag.Int("cores", 1, "local solver instances per job")
-		name    = flag.String("name", "", "worker name reported to the coordinator")
+		connect   = flag.String("connect", "127.0.0.1:9731", "coordinator address")
+		cores     = flag.Int("cores", 1, "local solver instances per job")
+		name      = flag.String("name", "", "worker name reported to the coordinator")
+		reconnect = flag.Int("reconnect", 0, "max consecutive reconnect attempts after connection loss (0: exit on loss)")
+		backoff   = flag.Duration("backoff", 0, "base reconnect backoff (default 250ms)")
+		seed      = flag.Int64("fault-seed", 0, "seed for backoff jitter and the fault plan")
+		dropAt    = flag.Int("fault-drop", -1, "drop the connection upon receiving this job index")
+		corruptAt = flag.Int("fault-corrupt", -1, "send a corrupt frame in place of this job's result")
+		stallAt   = flag.Int("fault-stall", -1, "go silent (no heartbeats) before running this job")
+		stallFor  = flag.Duration("stall-for", 30*time.Second, "stall duration for -fault-stall")
 	)
 	flag.Parse()
+
+	var plan *distrib.FaultPlan
+	if *dropAt >= 0 || *corruptAt >= 0 || *stallAt >= 0 || *seed != 0 {
+		plan = &distrib.FaultPlan{Seed: *seed}
+		if *dropAt >= 0 {
+			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *dropAt, Kind: distrib.FaultDrop})
+		}
+		if *corruptAt >= 0 {
+			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *corruptAt, Kind: distrib.FaultCorrupt})
+		}
+		if *stallAt >= 0 {
+			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *stallAt, Kind: distrib.FaultStall, Stall: *stallFor})
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	jobs, err := distrib.Work(ctx, *connect, distrib.WorkerOptions{
-		Name:  *name,
-		Cores: *cores,
+		Name:             *name,
+		Cores:            *cores,
+		MaxReconnects:    *reconnect,
+		ReconnectBackoff: *backoff,
+		Faults:           plan,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker: %v (after %d jobs)\n", err, jobs)

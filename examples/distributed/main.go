@@ -1,8 +1,9 @@
 // Distributed: a complete coordinator/worker analysis over localhost TCP.
 //
 // The coordinator splits 16 trace-space partitions into chunks of 4 and
-// serves them to three workers (one deliberately crashes after its first
-// job to demonstrate chunk reassignment). The program under analysis is
+// serves them to three workers (one deliberately crashes mid-job and
+// reconnects, demonstrating chunk reassignment and the worker-health
+// registry). The program under analysis is
 // the work-stealing queue at its bug bound, so one worker finds the
 // counterexample and the coordinator broadcasts termination — the
 // cross-machine termination the paper's prototype left as future work.
@@ -49,7 +50,10 @@ func main() {
 		wg.Add(1)
 		opts := distrib.WorkerOptions{Name: fmt.Sprintf("worker-%d", i), Cores: 2}
 		if i == 2 {
-			opts.FailAfterJobs = 1 // failure injection: dies after one job
+			// Fault injection: crash upon receiving the second job, then
+			// reconnect with backoff and keep working.
+			opts.Faults = distrib.DropAt(1)
+			opts.MaxReconnects = 3
 		}
 		go func(opts distrib.WorkerOptions) {
 			defer wg.Done()

@@ -21,9 +21,27 @@ type CoordinatorOptions struct {
 	// ChunkSize is the number of partitions per work unit (default:
 	// Partitions / 8, at least 1).
 	ChunkSize int
-	// JobTimeout bounds one worker job; an expired job is reassigned
-	// (default 10 minutes).
+	// JobTimeout bounds one worker job; an expired job is a failed
+	// attempt (default 10 minutes).
 	JobTimeout time.Duration
+	// MaxAttempts is the per-chunk failure budget: a chunk whose
+	// assignments fail this many times is quarantined — recorded in the
+	// failure log and no longer reassigned, capping the verdict at
+	// Unknown (default 3).
+	MaxAttempts int
+	// HeartbeatInterval is the cadence workers are told to report at
+	// while running a job, so a stalled worker is detected well before
+	// JobTimeout (default 5s; negative disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatGrace is how long the coordinator waits without hearing a
+	// heartbeat or result before declaring the worker stalled (default
+	// 4 × HeartbeatInterval).
+	HeartbeatGrace time.Duration
+	// DrainTimeout is how long the coordinator waits for a worker to
+	// (re)connect once chunks are pending but no workers remain, before
+	// giving up with Unknown; reconnecting workers must come back within
+	// this window (default 30s).
+	DrainTimeout time.Duration
 }
 
 // CoordinatorResult aggregates a distributed run.
@@ -34,17 +52,47 @@ type CoordinatorResult struct {
 	Winner int
 	// Jobs counts work units completed (including reassignments).
 	Jobs int
-	// Reassigned counts chunks that had to be handed to another worker
-	// after a failure.
+	// Reassigned counts chunks handed to another worker after a failure.
 	Reassigned int
 	// Wall is the overall time.
 	Wall time.Duration
+	// Quarantined is the structured failure log: chunks that exhausted
+	// their attempt budget, with the reason for every failed attempt.
+	Quarantined []ChunkFailure
+	// Attempts maps each chunk to the number of times it was assigned.
+	Attempts map[partition.Chunk]int
+	// Workers summarises every worker that completed hello, sorted by
+	// name (jobs completed, failures, connections, last seen).
+	Workers []WorkerHealth
+	// Drained reports that the run ended because chunks were pending but
+	// no workers remained connected for DrainTimeout.
+	Drained bool
+}
+
+// coordinator is the shared state of one Coordinate call.
+type coordinator struct {
+	opts   CoordinatorOptions
+	source string
+
+	mu        sync.Mutex
+	jobID     int
+	remaining int // chunks neither refuted nor quarantined
+	active    int // connected workers past hello
+	finished  bool
+	drain     *time.Timer
+	res       *CoordinatorResult
+
+	pending chan partition.Chunk
+	done    chan struct{}
+	tracker *chunkTracker
+	health  *healthRegistry
 }
 
 // Coordinate serves the analysis of program p over the workers that
 // connect to ln. It returns when every chunk is refuted (Safe), a worker
-// reports a counterexample (Unsafe: all other workers receive stop), or
-// the context is cancelled.
+// reports a counterexample (Unsafe: all other workers receive stop),
+// every unresolved chunk is quarantined or no workers remain (Unknown,
+// with the failure log populated), or the context is cancelled.
 func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts CoordinatorOptions) (*CoordinatorResult, error) {
 	if opts.Partitions < 1 {
 		return nil, fmt.Errorf("distrib: partition count must be >= 1")
@@ -58,34 +106,48 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	if opts.JobTimeout == 0 {
 		opts.JobTimeout = 10 * time.Minute
 	}
-	source := prog.Format(p)
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.HeartbeatInterval == 0 {
+		opts.HeartbeatInterval = 5 * time.Second
+	}
+	if opts.HeartbeatGrace == 0 {
+		opts.HeartbeatGrace = 4 * opts.HeartbeatInterval
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
 	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
 
 	start := time.Now()
-	res := &CoordinatorResult{Verdict: core.Safe, Winner: -1}
-
-	var mu sync.Mutex
-	pending := make(chan partition.Chunk, len(chunks))
-	for _, ch := range chunks {
-		pending <- ch
+	co := &coordinator{
+		opts:      opts,
+		source:    prog.Format(p),
+		remaining: len(chunks),
+		res:       &CoordinatorResult{Verdict: core.Safe, Winner: -1},
+		pending:   make(chan partition.Chunk, len(chunks)),
+		done:      make(chan struct{}),
+		tracker:   newChunkTracker(opts.MaxAttempts),
+		health:    newHealthRegistry(),
 	}
-	remaining := len(chunks)
-	done := make(chan struct{})
-	var closeOnce sync.Once
-	finish := func() { closeOnce.Do(func() { close(done) }) }
+	for _, ch := range chunks {
+		co.pending <- ch
+	}
 
-	// Stop accepting when finished.
+	// Stop accepting when finished or cancelled.
 	go func() {
 		select {
-		case <-done:
+		case <-co.done:
 		case <-ctx.Done():
-			finish()
+			co.mu.Lock()
+			co.finishLocked()
+			co.mu.Unlock()
 		}
 		ln.Close()
 	}()
 
 	var wg sync.WaitGroup
-	jobID := 0
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -94,78 +156,214 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wc := newConn(c, 30*time.Second)
-			defer wc.close()
-			if hello, err := wc.recv(30 * time.Second); err != nil || hello.Type != "hello" {
-				return
-			}
-			for {
-				var chunk partition.Chunk
-				select {
-				case chunk = <-pending:
-				case <-done:
-					_ = wc.send(&Message{Type: "stop"})
-					return
-				}
-				mu.Lock()
-				jobID++
-				id := jobID
-				mu.Unlock()
-				job := &Message{
-					Type: "job", JobID: id, Source: source,
-					Unwind: opts.Unwind, Contexts: opts.Contexts, Width: opts.Width,
-					Partitions: opts.Partitions, From: chunk.From, To: chunk.To,
-				}
-				if err := wc.send(job); err != nil {
-					pending <- chunk // reassign
-					mu.Lock()
-					res.Reassigned++
-					mu.Unlock()
-					return
-				}
-				reply, err := wc.recv(opts.JobTimeout)
-				if err != nil || reply.Type != "result" || reply.Error != "" {
-					pending <- chunk // worker failed: reassign
-					mu.Lock()
-					res.Reassigned++
-					mu.Unlock()
-					return
-				}
-				mu.Lock()
-				res.Jobs++
-				switch reply.Verdict {
-				case core.Unsafe.String():
-					res.Verdict = core.Unsafe
-					res.Winner = reply.Winner
-					mu.Unlock()
-					finish()
-					_ = wc.send(&Message{Type: "stop"})
-					return
-				case core.Safe.String():
-					remaining--
-					if remaining == 0 {
-						mu.Unlock()
-						finish()
-						_ = wc.send(&Message{Type: "stop"})
-						return
-					}
-				default:
-					// Unknown (e.g. worker-side cancellation): reassign.
-					pending <- chunk
-					res.Reassigned++
-				}
-				mu.Unlock()
-			}
+			co.serve(c)
 		}()
 	}
 	wg.Wait()
-	if ctx.Err() != nil && res.Verdict == core.Safe {
-		mu.Lock()
-		if remaining > 0 {
-			res.Verdict = core.Unknown
-		}
-		mu.Unlock()
+
+	co.mu.Lock()
+	if co.drain != nil {
+		co.drain.Stop()
 	}
+	res := co.res
+	res.Quarantined = co.tracker.failureLog()
+	res.Attempts = co.tracker.attempts()
+	res.Workers = co.health.snapshot()
+	if res.Verdict == core.Safe && (co.remaining > 0 || len(res.Quarantined) > 0) {
+		res.Verdict = core.Unknown
+	}
+	co.mu.Unlock()
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// finishLocked ends the run; callers hold co.mu.
+func (co *coordinator) finishLocked() {
+	if !co.finished {
+		co.finished = true
+		close(co.done)
+	}
+}
+
+// workerJoined/workerLeft keep the connected-worker count and arm the
+// drain timer when the last worker leaves with chunks still pending —
+// the state in which the old coordinator would block on Accept forever.
+func (co *coordinator) workerJoined() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.active++
+	if co.drain != nil {
+		co.drain.Stop()
+		co.drain = nil
+	}
+}
+
+func (co *coordinator) workerLeft() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.active--
+	if co.active == 0 && co.remaining > 0 && !co.finished {
+		if co.drain != nil {
+			co.drain.Stop()
+		}
+		co.drain = time.AfterFunc(co.opts.DrainTimeout, co.drainExpired)
+	}
+}
+
+func (co *coordinator) drainExpired() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.active == 0 && co.remaining > 0 && !co.finished {
+		co.res.Drained = true
+		co.finishLocked()
+	}
+}
+
+// serve runs one worker connection to completion.
+func (co *coordinator) serve(c net.Conn) {
+	wc := newConn(c, 30*time.Second)
+	defer wc.close()
+	hello, err := wc.recv(30 * time.Second)
+	if err != nil || hello.Type != "hello" {
+		return // never joined: does not count as a worker failure
+	}
+	key := co.health.connected(hello.WorkerName, c.RemoteAddr().String())
+	co.workerJoined()
+	defer co.workerLeft()
+
+	hbMillis := co.opts.HeartbeatInterval.Milliseconds()
+	if co.opts.HeartbeatInterval < 0 {
+		hbMillis = 0
+	}
+	for {
+		var chunk partition.Chunk
+		select {
+		case chunk = <-co.pending:
+		case <-co.done:
+			_ = wc.send(&Message{Type: "stop"})
+			return
+		}
+		co.mu.Lock()
+		co.jobID++
+		id := co.jobID
+		co.mu.Unlock()
+		co.tracker.assigned(chunk)
+		job := &Message{
+			Type: "job", JobID: id, Source: co.source,
+			Unwind: co.opts.Unwind, Contexts: co.opts.Contexts, Width: co.opts.Width,
+			Partitions: co.opts.Partitions, From: chunk.From, To: chunk.To,
+			HeartbeatMillis: hbMillis,
+		}
+		if err := wc.send(job); err != nil {
+			co.failChunk(chunk, key, fmt.Sprintf("send job %d to %s: %v", id, key, err))
+			return
+		}
+		reply, err := co.awaitResult(wc, id, key, hbMillis > 0)
+		if err != nil {
+			co.failChunk(chunk, key, err.Error())
+			return
+		}
+		co.health.jobDone(key)
+		switch reply.Verdict {
+		case core.Unsafe.String():
+			co.mu.Lock()
+			co.res.Jobs++
+			co.res.Verdict = core.Unsafe
+			co.res.Winner = reply.Winner
+			co.finishLocked()
+			co.mu.Unlock()
+			_ = wc.send(&Message{Type: "stop"})
+			return
+		case core.Safe.String():
+			co.mu.Lock()
+			co.res.Jobs++
+			co.remaining--
+			fin := co.remaining == 0
+			if fin {
+				co.finishLocked()
+			}
+			co.mu.Unlock()
+			if fin {
+				_ = wc.send(&Message{Type: "stop"})
+				return
+			}
+		default:
+			// Unknown (e.g. worker-side cancellation): a failed attempt,
+			// but the connection stays usable.
+			co.requeueOrQuarantine(chunk, key,
+				fmt.Sprintf("job %d on %s: verdict %s", id, key, reply.Verdict))
+		}
+	}
+}
+
+// awaitResult reads messages until the result for job id arrives. With
+// heartbeats enabled each read is bounded by HeartbeatGrace, so a
+// stalled worker is caught long before JobTimeout; the overall job
+// deadline still applies. A result carrying the wrong JobID is a
+// protocol violation (stale result misattribution) and fails the worker.
+func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool) (*Message, error) {
+	deadline := time.Now().Add(co.opts.JobTimeout)
+	grace := co.opts.JobTimeout
+	if heartbeats && co.opts.HeartbeatGrace < grace {
+		grace = co.opts.HeartbeatGrace
+	}
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("job %d on %s: timeout after %v", id, key, co.opts.JobTimeout)
+		}
+		to := grace
+		if to > remain {
+			to = remain
+		}
+		reply, err := wc.recv(to)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && heartbeats {
+				return nil, fmt.Errorf("job %d on %s: no heartbeat within %v", id, key, grace)
+			}
+			return nil, fmt.Errorf("job %d on %s: %v", id, key, err)
+		}
+		switch reply.Type {
+		case "heartbeat":
+			if reply.JobID == id {
+				co.health.touch(key)
+			}
+			// A stale heartbeat from the previous job is harmless: skip.
+		case "result":
+			if reply.JobID != id {
+				return nil, fmt.Errorf("job %d on %s: stale result for job %d", id, key, reply.JobID)
+			}
+			if reply.Error != "" {
+				return nil, fmt.Errorf("job %d on %s: worker error: %s", id, key, reply.Error)
+			}
+			return reply, nil
+		default:
+			return nil, fmt.Errorf("job %d on %s: unexpected message %q", id, key, reply.Type)
+		}
+	}
+}
+
+// failChunk charges a failed attempt to both the worker and the chunk.
+func (co *coordinator) failChunk(chunk partition.Chunk, key, reason string) {
+	co.health.failed(key)
+	co.requeueOrQuarantine(chunk, key, reason)
+}
+
+// requeueOrQuarantine puts a failed chunk back on the queue, or — once
+// its budget is exhausted — quarantines it so it is never reassigned
+// again. Quarantining the last unresolved chunk ends the run.
+func (co *coordinator) requeueOrQuarantine(chunk partition.Chunk, key, reason string) {
+	if co.tracker.failed(chunk, reason) {
+		co.mu.Lock()
+		co.remaining--
+		if co.remaining == 0 {
+			co.finishLocked()
+		}
+		co.mu.Unlock()
+		return
+	}
+	co.mu.Lock()
+	co.res.Reassigned++
+	co.mu.Unlock()
+	co.pending <- chunk
 }

@@ -1,0 +1,84 @@
+package distrib
+
+import "time"
+
+// FaultKind selects the failure a FaultEvent injects.
+type FaultKind int
+
+const (
+	// FaultDrop closes the connection upon receiving the job, before any
+	// result is sent — a worker crashing mid-job.
+	FaultDrop FaultKind = iota
+	// FaultStall suppresses heartbeats and the result for the event's
+	// Stall duration before processing the job — a hung worker. The
+	// coordinator's heartbeat monitor should evict the connection well
+	// before the job timeout.
+	FaultStall
+	// FaultCorrupt puts a malformed frame on the wire in place of the
+	// result and drops the connection.
+	FaultCorrupt
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultStall:
+		return "stall"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// FaultEvent injects one failure when the worker receives its Job-th job
+// (zero-based, counted across reconnects).
+type FaultEvent struct {
+	Job   int
+	Kind  FaultKind
+	Stall time.Duration // FaultStall only
+}
+
+// FaultPlan is a deterministic fault-injection schedule for a worker.
+// Given the same plan (and the same job order), a worker fails the same
+// way every run; Seed additionally fixes the reconnect-backoff jitter so
+// whole churn scenarios replay byte-for-byte. It replaces the old
+// single FailAfterJobs knob.
+type FaultPlan struct {
+	// Seed drives the jittered reconnect backoff (0 is treated as 1).
+	Seed int64
+	// Events fire by job index; at most one event fires per job (the
+	// first match wins).
+	Events []FaultEvent
+}
+
+// DropAt returns a plan that drops the connection upon receiving each of
+// the given job indices — the common "crash mid-job" scenario.
+func DropAt(jobs ...int) *FaultPlan {
+	p := &FaultPlan{}
+	for _, j := range jobs {
+		p.Events = append(p.Events, FaultEvent{Job: j, Kind: FaultDrop})
+	}
+	return p
+}
+
+// eventAt returns the event scheduled for the given job index, nil-safe.
+func (p *FaultPlan) eventAt(job int) *FaultEvent {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Events {
+		if p.Events[i].Job == job {
+			return &p.Events[i]
+		}
+	}
+	return nil
+}
+
+// seed returns the jitter seed, nil-safe and never zero.
+func (p *FaultPlan) seed() int64 {
+	if p == nil || p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}

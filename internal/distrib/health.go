@@ -1,0 +1,169 @@
+package distrib
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// WorkerHealth tracks one worker across its connections. Workers are
+// keyed by the name they report in hello (falling back to the remote
+// address when unnamed), so a reconnecting worker accumulates into one
+// entry.
+type WorkerHealth struct {
+	Name        string
+	Connections int
+	Jobs        int
+	Failures    int
+	LastSeen    time.Time
+}
+
+// healthRegistry is the coordinator's view of every worker that ever
+// said hello.
+type healthRegistry struct {
+	mu      sync.Mutex
+	workers map[string]*WorkerHealth
+}
+
+func newHealthRegistry() *healthRegistry {
+	return &healthRegistry{workers: make(map[string]*WorkerHealth)}
+}
+
+// connected records a completed hello and returns the registry key for
+// the connection's subsequent events.
+func (r *healthRegistry) connected(name, addr string) string {
+	key := name
+	if key == "" {
+		key = addr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[key]
+	if w == nil {
+		w = &WorkerHealth{Name: key}
+		r.workers[key] = w
+	}
+	w.Connections++
+	w.LastSeen = time.Now()
+	return key
+}
+
+func (r *healthRegistry) jobDone(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.workers[key]; w != nil {
+		w.Jobs++
+		w.LastSeen = time.Now()
+	}
+}
+
+func (r *healthRegistry) failed(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.workers[key]; w != nil {
+		w.Failures++
+		w.LastSeen = time.Now()
+	}
+}
+
+// touch refreshes LastSeen (heartbeats).
+func (r *healthRegistry) touch(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.workers[key]; w != nil {
+		w.LastSeen = time.Now()
+	}
+}
+
+// snapshot returns value copies sorted by name.
+func (r *healthRegistry) snapshot() []WorkerHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerHealth, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ChunkFailure is one entry of the coordinator's structured failure log:
+// a chunk that exhausted its attempt budget and was quarantined instead
+// of being reassigned forever. A quarantined chunk caps the run's
+// verdict at Unknown.
+type ChunkFailure struct {
+	Chunk    partition.Chunk
+	Attempts int      // failed attempts (== the budget when quarantined)
+	Errors   []string // one reason per failed attempt, oldest first
+}
+
+// chunkTracker counts assignments and failures per chunk and decides
+// quarantine against the attempt budget.
+type chunkTracker struct {
+	mu     sync.Mutex
+	budget int
+	stats  map[partition.Chunk]*chunkStat
+}
+
+type chunkStat struct {
+	assigned int
+	failed   int
+	errors   []string
+}
+
+func newChunkTracker(budget int) *chunkTracker {
+	return &chunkTracker{budget: budget, stats: make(map[partition.Chunk]*chunkStat)}
+}
+
+func (t *chunkTracker) get(ch partition.Chunk) *chunkStat {
+	s := t.stats[ch]
+	if s == nil {
+		s = &chunkStat{}
+		t.stats[ch] = s
+	}
+	return s
+}
+
+func (t *chunkTracker) assigned(ch partition.Chunk) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.get(ch).assigned++
+}
+
+// failed records a failed attempt and reports whether the chunk has now
+// exhausted its budget and must be quarantined.
+func (t *chunkTracker) failed(ch partition.Chunk, reason string) (quarantined bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.get(ch)
+	s.failed++
+	s.errors = append(s.errors, reason)
+	return s.failed >= t.budget
+}
+
+// attempts returns assignment counts per chunk.
+func (t *chunkTracker) attempts() map[partition.Chunk]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[partition.Chunk]int, len(t.stats))
+	for ch, s := range t.stats {
+		out[ch] = s.assigned
+	}
+	return out
+}
+
+// failureLog returns the quarantined chunks sorted by partition range.
+func (t *chunkTracker) failureLog() []ChunkFailure {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []ChunkFailure
+	for ch, s := range t.stats {
+		if s.failed >= t.budget {
+			out = append(out, ChunkFailure{Chunk: ch, Attempts: s.failed, Errors: s.errors})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Chunk.From < out[j].Chunk.From })
+	return out
+}

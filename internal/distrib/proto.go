@@ -5,13 +5,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
+
+// maxFrameBytes caps one line-delimited frame so a misbehaving peer
+// cannot make the reader buffer an arbitrarily long line.
+const maxFrameBytes = 16 << 20 // 16 MiB
 
 // Message is the JSON wire format exchanged between coordinator and
 // workers, one message per line.
 type Message struct {
-	// Type is "hello", "job", "result", or "stop".
+	// Type is "hello", "job", "heartbeat", "result", or "stop".
 	Type string `json:"type"`
 
 	// Hello fields.
@@ -20,45 +25,60 @@ type Message struct {
 
 	// Job fields: the program source plus the analysis parameters and
 	// the partition range (the paper's --from/--to interface).
-	JobID      int    `json:"job_id,omitempty"`
-	Source     string `json:"source,omitempty"`
-	Unwind     int    `json:"unwind,omitempty"`
-	Contexts   int    `json:"contexts,omitempty"`
-	Width      int    `json:"width,omitempty"`
-	Partitions int    `json:"partitions,omitempty"`
-	From       int    `json:"from"`
-	To         int    `json:"to"`
+	// HeartbeatMillis tells the worker how often to send a heartbeat
+	// while the job runs (0: no heartbeats expected).
+	JobID           int    `json:"job_id,omitempty"`
+	Source          string `json:"source,omitempty"`
+	Unwind          int    `json:"unwind,omitempty"`
+	Contexts        int    `json:"contexts,omitempty"`
+	Width           int    `json:"width,omitempty"`
+	Partitions      int    `json:"partitions,omitempty"`
+	From            int    `json:"from"`
+	To              int    `json:"to"`
+	HeartbeatMillis int64  `json:"hb_millis,omitempty"`
 
-	// Result fields.
+	// Result fields. Heartbeats carry JobID only.
 	Verdict string `json:"verdict,omitempty"`
 	Winner  int    `json:"winner,omitempty"`
 	Millis  int64  `json:"millis,omitempty"`
 	Error   string `json:"error,omitempty"`
 }
 
-// conn wraps a TCP connection with line-delimited JSON framing.
+// conn wraps a TCP connection with line-delimited JSON framing. Sends
+// are serialised by a mutex so a worker's heartbeat goroutine can share
+// the connection with its job loop.
 type conn struct {
-	c  net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
-	to time.Duration
+	c        net.Conn
+	r        *bufio.Reader
+	wmu      sync.Mutex
+	w        *bufio.Writer
+	to       time.Duration
+	maxFrame int
 }
 
 func newConn(c net.Conn, timeout time.Duration) *conn {
-	return &conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c), to: timeout}
+	return &conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c), to: timeout, maxFrame: maxFrameBytes}
 }
 
 func (c *conn) send(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return c.sendRaw(append(data, '\n'))
+}
+
+// sendRaw writes a pre-framed line verbatim. It exists so the fault
+// harness can put a deliberately corrupt frame on the wire.
+func (c *conn) sendRaw(line []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if c.to > 0 {
 		if err := c.c.SetWriteDeadline(time.Now().Add(c.to)); err != nil {
 			return err
 		}
 	}
-	data, err := json.Marshal(m)
-	if err != nil {
-		return err
-	}
-	if _, err := c.w.Write(append(data, '\n')); err != nil {
+	if _, err := c.w.Write(line); err != nil {
 		return err
 	}
 	return c.w.Flush()
@@ -72,9 +92,19 @@ func (c *conn) recv(timeout time.Duration) (*Message, error) {
 	} else if err := c.c.SetReadDeadline(time.Time{}); err != nil {
 		return nil, err
 	}
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		return nil, err
+	var line []byte
+	for {
+		frag, err := c.r.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > c.maxFrame {
+			return nil, fmt.Errorf("distrib: frame exceeds %d bytes", c.maxFrame)
+		}
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
 	}
 	var m Message
 	if err := json.Unmarshal(line, &m); err != nil {

@@ -14,6 +14,37 @@
 // workers, and broadcasts termination as soon as one worker finds a
 // counterexample — the cross-machine termination the paper's prototype
 // left as future work.
+//
+// # Fault tolerance
+//
+// Worker churn is treated as the normal case, not the exception:
+//
+//   - Retry budget and quarantine: every chunk failure (connection loss,
+//     stall, corrupt frame, stale result, worker-side error) charges the
+//     chunk's attempt budget (CoordinatorOptions.MaxAttempts). A chunk
+//     that exhausts the budget is quarantined — recorded in the
+//     structured failure log (CoordinatorResult.Quarantined) with one
+//     reason per failed attempt — instead of being reassigned forever; a
+//     quarantined chunk caps the verdict at Unknown.
+//   - Heartbeats: each job message carries the heartbeat cadence; the
+//     worker reports at that interval while the solver runs, and the
+//     coordinator declares a connection stalled after HeartbeatGrace of
+//     silence — well before the 10-minute JobTimeout.
+//   - Result validation: a result whose JobID does not match the
+//     outstanding job is rejected as a stale-result misattribution and
+//     treated as a worker failure; frames are capped at 16 MiB.
+//   - Drain detection: when chunks are pending but no workers remain
+//     connected for DrainTimeout, the coordinator returns Unknown with
+//     the failure log instead of blocking on Accept forever.
+//   - Reconnecting workers: a worker with MaxReconnects > 0 redials
+//     after a lost connection with exponential backoff plus seeded
+//     jitter, and its health (jobs, failures, connections, last seen) is
+//     tracked across connections by name in the coordinator's registry
+//     (CoordinatorResult.Workers).
+//   - Fault injection: WorkerOptions.Faults takes a deterministic
+//     FaultPlan that can drop the connection mid-job, stall silently, or
+//     corrupt a frame at chosen job indices — the harness the test suite
+//     uses to exercise every reassignment path.
 package distrib
 
 import (

@@ -3,6 +3,7 @@ package distrib
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -12,26 +13,97 @@ import (
 
 // WorkerOptions configures a worker process.
 type WorkerOptions struct {
-	// Name identifies the worker in coordinator logs.
+	// Name identifies the worker in the coordinator's health registry.
 	Name string
 	// Cores is the number of solver instances per job (default 1).
 	Cores int
-	// FailAfterJobs, when > 0, makes the worker drop the connection
-	// after completing that many jobs (failure injection for tests).
-	FailAfterJobs int
+	// MaxReconnects is how many consecutive failed connection cycles the
+	// worker tolerates before giving up; the counter resets whenever a
+	// connection completes at least one job. 0 disables reconnection:
+	// the first connection loss ends the call.
+	MaxReconnects int
+	// ReconnectBackoff is the base delay between reconnect attempts
+	// (default 250ms), doubled per consecutive failure, capped at 10s,
+	// with up to 50% seeded jitter added.
+	ReconnectBackoff time.Duration
+	// Faults, when non-nil, injects deterministic failures for tests —
+	// see FaultPlan.
+	Faults *FaultPlan
+}
+
+// worker is the state shared across one Work call's connections.
+type worker struct {
+	opts WorkerOptions
+	jobs int // global job index across reconnects (drives the FaultPlan)
 }
 
 // Work connects to the coordinator at addr and processes jobs until the
-// coordinator sends stop, the connection closes, or ctx is cancelled.
-// It returns the number of jobs completed.
+// coordinator sends stop or ctx is cancelled. If MaxReconnects is set,
+// a lost connection is retried with exponential backoff and jitter; the
+// job counter (and therefore the fault plan) continues across
+// reconnects. It returns the total number of jobs completed.
 func Work(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
 	if opts.Cores == 0 {
 		opts.Cores = 1
 	}
+	if opts.ReconnectBackoff == 0 {
+		opts.ReconnectBackoff = 250 * time.Millisecond
+	}
+	w := &worker{opts: opts}
+	rng := rand.New(rand.NewSource(opts.Faults.seed()))
+	total := 0
+	failures := 0
+	for {
+		n, stopped, err := w.session(ctx, addr)
+		total += n
+		if stopped {
+			return total, nil
+		}
+		if ctx.Err() != nil {
+			return total, ctx.Err()
+		}
+		if opts.MaxReconnects <= 0 {
+			return total, err
+		}
+		if n > 0 {
+			failures = 0
+		}
+		failures++
+		if failures > opts.MaxReconnects {
+			return total, fmt.Errorf("distrib: worker giving up after %d reconnect attempts: %w",
+				opts.MaxReconnects, err)
+		}
+		delay := backoffDelay(opts.ReconnectBackoff, failures, rng)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return total, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// backoffDelay is base·2^(attempt-1) capped at 10s, plus up to 50%
+// jitter from rng so reconnecting workers do not stampede in lockstep.
+func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 10*time.Second; i++ {
+		d *= 2
+	}
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// session runs one connection: dial, hello, then jobs until stop or
+// error. stopped is true only for a clean coordinator-initiated stop.
+func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bool, err error) {
 	d := net.Dialer{Timeout: 10 * time.Second}
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return 0, fmt.Errorf("distrib: worker dial: %w", err)
+		return 0, false, fmt.Errorf("distrib: worker dial: %w", err)
 	}
 	wc := newConn(c, 30*time.Second)
 	defer wc.close()
@@ -47,34 +119,92 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
 		}
 	}()
 
-	if err := wc.send(&Message{Type: "hello", WorkerName: opts.Name, Cores: opts.Cores}); err != nil {
-		return 0, err
+	if err := wc.send(&Message{Type: "hello", WorkerName: w.opts.Name, Cores: w.opts.Cores}); err != nil {
+		return 0, false, err
 	}
-	jobs := 0
 	for {
 		m, err := wc.recv(0)
 		if err != nil {
-			if ctx.Err() != nil {
-				return jobs, ctx.Err()
-			}
-			return jobs, err
+			return jobs, false, err
 		}
 		switch m.Type {
 		case "stop":
-			return jobs, nil
+			return jobs, true, nil
 		case "job":
-			if opts.FailAfterJobs > 0 && jobs >= opts.FailAfterJobs {
-				return jobs, fmt.Errorf("distrib: injected worker failure")
+			idx := w.jobs
+			w.jobs++
+			if f := w.opts.Faults.eventAt(idx); f != nil {
+				done, ferr := w.inject(ctx, wc, f)
+				if done {
+					return jobs, false, ferr
+				}
+				// A stall falls through: the job still runs, late.
 			}
-			reply := runJob(ctx, m, opts.Cores)
+			reply := w.runJobWithHeartbeats(ctx, wc, m)
 			if err := wc.send(reply); err != nil {
-				return jobs, err
+				return jobs, false, err
 			}
 			jobs++
 		default:
-			return jobs, fmt.Errorf("distrib: unexpected message %q", m.Type)
+			return jobs, false, fmt.Errorf("distrib: unexpected message %q", m.Type)
 		}
 	}
+}
+
+// inject applies one fault event. done means the session is over.
+func (w *worker) inject(ctx context.Context, wc *conn, f *FaultEvent) (done bool, err error) {
+	switch f.Kind {
+	case FaultDrop:
+		wc.close()
+		return true, fmt.Errorf("distrib: injected drop at job %d", f.Job)
+	case FaultCorrupt:
+		_ = wc.sendRaw([]byte("{corrupt frame at job " + fmt.Sprint(f.Job) + "\n"))
+		wc.close()
+		return true, fmt.Errorf("distrib: injected corrupt frame at job %d", f.Job)
+	case FaultStall:
+		// Silence: no heartbeats, no result, for the stall duration.
+		t := time.NewTimer(f.Stall)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return true, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return false, nil
+}
+
+// runJobWithHeartbeats runs the job while a side goroutine heartbeats at
+// the cadence the coordinator asked for, so a busy solver is
+// distinguishable from a hung worker. The sender is stopped before the
+// result goes out, so a result is never followed by its own heartbeat.
+func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message) *Message {
+	var hbStop, hbDone chan struct{}
+	if m.HeartbeatMillis > 0 {
+		hbStop, hbDone = make(chan struct{}), make(chan struct{})
+		interval := time.Duration(m.HeartbeatMillis) * time.Millisecond
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if err := wc.send(&Message{Type: "heartbeat", JobID: m.JobID}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	reply := runJob(ctx, m, w.opts.Cores)
+	if hbStop != nil {
+		close(hbStop)
+		<-hbDone
+	}
+	return reply
 }
 
 func runJob(ctx context.Context, m *Message, cores int) *Message {
