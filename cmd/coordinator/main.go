@@ -9,7 +9,12 @@
 // heartbeat (-heartbeat), and the run ends with Unknown plus a failure
 // log — rather than hanging — if no workers remain for -drain-timeout.
 //
-//	coordinator -listen :9731 -i program.mt --unwind 2 --contexts 5 --partitions 16
+// With -metrics-addr the coordinator serves /metrics (Prometheus text
+// format: chunk/worker gauges, aggregated remote solver counters, live
+// per-worker conflict gauges fed by heartbeats) and /healthz (the
+// worker-health registry as JSON), plus pprof with -pprof:
+//
+//	coordinator -listen :9731 -metrics-addr :9100 -i program.mt --unwind 2 --contexts 5 --partitions 16
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distrib"
+	"repro/internal/obs"
 	"repro/prog"
 )
 
@@ -39,6 +45,8 @@ func main() {
 		attempts   = flag.Int("max-attempts", 0, "per-chunk failure budget before quarantine (default 3)")
 		heartbeat  = flag.Duration("heartbeat", 0, "worker heartbeat interval (default 5s, negative disables)")
 		drainTO    = flag.Duration("drain-timeout", 0, "give up when no workers remain for this long (default 30s)")
+		metricAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty disables)")
+		pprofOn    = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics address")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -62,6 +70,28 @@ func main() {
 	}
 	fmt.Printf("coordinator: listening on %s (%d partitions)\n", ln.Addr(), *partitions)
 
+	var (
+		metrics *obs.Registry
+		health  *distrib.HealthRegistry
+	)
+	if *metricAddr != "" {
+		metrics = obs.NewRegistry()
+		health = distrib.NewHealthRegistry()
+		mux := obs.NewMux(obs.MuxOptions{
+			Registry: metrics,
+			Health:   func() any { return health.Snapshot() },
+			Pprof:    *pprofOn,
+		})
+		srv, errc := obs.Serve(*metricAddr, mux)
+		defer srv.Close()
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintln(os.Stderr, "coordinator: metrics server:", err)
+			}
+		}()
+		fmt.Printf("coordinator: metrics on http://%s/metrics\n", *metricAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := distrib.Coordinate(ctx, ln, p, distrib.CoordinatorOptions{
@@ -74,6 +104,8 @@ func main() {
 		MaxAttempts:       *attempts,
 		HeartbeatInterval: *heartbeat,
 		DrainTimeout:      *drainTO,
+		Metrics:           metrics,
+		Health:            health,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -81,6 +113,9 @@ func main() {
 	}
 	fmt.Printf("verdict: %v (winner partition %d, %d jobs, %d reassigned, %v)\n",
 		res.Verdict, res.Winner, res.Jobs, res.Reassigned, res.Wall)
+	fmt.Printf("remote search: %d decisions, %d conflicts, %d propagations, %d restarts, solve time %v\n",
+		res.RemoteStats.Decisions, res.RemoteStats.Conflicts, res.RemoteStats.Propagations,
+		res.RemoteStats.Restarts, time.Duration(res.SolveMillis)*time.Millisecond)
 	if res.Drained {
 		fmt.Println("run drained: chunks were pending but no workers remained connected")
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/flatten"
+	"repro/internal/obs"
 	"repro/internal/weakmem"
 	"repro/prog"
 )
@@ -56,10 +57,31 @@ func main() {
 		dump       = flag.String("dump", "", "dump an intermediate artefact and exit: source | flat")
 		showTrace  = flag.Bool("trace", true, "print the counterexample schedule")
 		quiet      = flag.Bool("q", false, "print only the verdict")
+		stats      = flag.Bool("stats", false, "print per-phase timings and per-partition solver statistics")
+		traceOut   = flag.String("trace-out", "", "write pipeline phase spans as JSONL to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		srv, _ := obs.Serve(*pprofAddr, obs.NewMux(obs.MuxOptions{Pprof: true}))
+		defer srv.Close()
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parbmc:", err)
+			os.Exit(2)
+		}
+		defer tf.Close()
+		tracer = obs.NewTracer(obs.NewJSONLSink(tf))
+	}
+
+	parseSpan := tracer.Start("parse")
 	p, err := loadProgram(*input, *benchmark)
+	parseSpan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parbmc:", err)
 		os.Exit(2)
@@ -100,6 +122,7 @@ func main() {
 		To:           *to,
 		Preprocess:   *preprocess,
 		CertifyUnsat: *certify,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parbmc:", err)
@@ -118,6 +141,17 @@ func main() {
 		fmt.Printf("partitions: %d (winner: %d)\n", res.Partitions, res.Winner)
 		fmt.Printf("encode:     %v\n", res.EncodeTime)
 		fmt.Printf("solve:      %v\n", res.SolveTime)
+		if *stats {
+			for _, ph := range res.Phases {
+				fmt.Printf("phase %-10s %v\n", ph.Name+":", ph.Duration)
+			}
+			for _, inst := range res.Instances {
+				st := inst.Stats
+				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d\n",
+					inst.Partition, inst.Status, inst.Time,
+					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts)
+			}
+		}
 		if res.Verdict == core.Unsafe {
 			if res.Violation != nil {
 				fmt.Printf("violation:  %v\n", res.Violation)

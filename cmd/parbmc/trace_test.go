@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestTraceOutJSONL drives the -trace-out path end to end: parse a
+// benchmark under a parse span, verify with the tracer attached, and
+// check the emitted file is valid JSONL with one span per pipeline
+// phase, correctly parented under the verify root.
+func TestTraceOutJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tf, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.NewJSONLSink(tf))
+
+	parseSpan := tracer.Start("parse")
+	p, err := loadProgram("", "fibonacci")
+	parseSpan.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Verify(context.Background(), p, core.Options{
+		Unwind: 1, Contexts: 3, Cores: 2, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans := make(map[string]obs.Event)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		if e.Name == "" || e.ID == 0 || e.DurMicros < 0 || e.Time.IsZero() {
+			t.Fatalf("malformed span event: %+v", e)
+		}
+		if _, dup := spans[e.Name]; dup {
+			t.Fatalf("phase %q emitted more than one span", e.Name)
+		}
+		spans[e.Name] = e
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify, ok := spans["verify"]
+	if !ok || verify.Parent != 0 {
+		t.Fatalf("verify root span missing or parented: %+v", spans)
+	}
+	if parse, ok := spans["parse"]; !ok || parse.Parent != 0 {
+		t.Fatalf("parse root span missing or parented: %+v", spans)
+	}
+	for _, phase := range []string{"unfold", "flatten", "encode", "partition", "solve"} {
+		sp, ok := spans[phase]
+		if !ok {
+			t.Fatalf("missing %q span in trace file; got %d spans", phase, len(spans))
+		}
+		if sp.Parent != verify.ID {
+			t.Fatalf("%q span parent %d, want verify id %d", phase, sp.Parent, verify.ID)
+		}
+	}
+	if got := spans["verify"].Attrs["verdict"]; got != "SAFE" {
+		t.Fatalf("verify verdict attr: %v", got)
+	}
+}

@@ -17,20 +17,27 @@ import (
 	"strings"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/sat"
 )
 
 func main() {
 	var (
-		cores    = flag.Int("cores", 1, "parallel solver instances")
-		style    = flag.String("portfolio", "sharing", "portfolio style: sharing | diverse")
-		assume   = flag.String("assume", "", "space-separated DIMACS literals to assume")
-		stats    = flag.Bool("stats", false, "print search statistics")
-		noModel  = flag.Bool("no-model", false, "suppress the v line")
-		maxConfl = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
+		cores     = flag.Int("cores", 1, "parallel solver instances")
+		style     = flag.String("portfolio", "sharing", "portfolio style: sharing | diverse")
+		assume    = flag.String("assume", "", "space-separated DIMACS literals to assume")
+		stats     = flag.Bool("stats", false, "print search statistics")
+		noModel   = flag.Bool("no-model", false, "suppress the v line")
+		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
+		progress  = flag.Int64("progress", 0, "print live search progress every N conflicts (0 disables)")
+		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		srv, _ := obs.Serve(*pprofAddr, obs.NewMux(obs.MuxOptions{Pprof: true}))
+		defer srv.Close()
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] formula.cnf")
 		os.Exit(2)
@@ -61,22 +68,37 @@ func main() {
 	var model []bool
 	var searchStats []sat.Stats
 
+	// liveProgress prints one c-line per snapshot to stderr, so piping
+	// the s/v lines stays clean while a long solve shows it is alive.
+	liveProgress := func(instance int, st sat.Stats) {
+		fmt.Fprintf(os.Stderr, "c progress instance=%d decisions=%d conflicts=%d propagations=%d restarts=%d\n",
+			instance, st.Decisions, st.Conflicts, st.Propagations, st.Restarts)
+	}
+
 	if *cores > 1 && len(assumptions) == 0 {
 		st := portfolio.StyleSharing
 		if *style == "diverse" {
 			st = portfolio.StyleDiverse
 		}
-		res, err := portfolio.Solve(context.Background(), formula, portfolio.Options{
+		popts := portfolio.Options{
 			Cores: *cores,
 			Style: st,
-		})
+		}
+		if *progress > 0 {
+			popts.Progress = liveProgress
+			popts.ProgressEvery = *progress
+		}
+		res, err := portfolio.Solve(context.Background(), formula, popts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "satsolve:", err)
 			os.Exit(2)
 		}
 		status, model, searchStats = res.Status, res.Model, res.Stats
 	} else {
-		s := sat.NewFromFormula(formula, sat.Options{MaxConflicts: *maxConfl})
+		s := sat.NewFromFormula(formula, sat.Options{MaxConflicts: *maxConfl, ProgressEvery: *progress})
+		if *progress > 0 {
+			s.Progress = func(st sat.Stats) { liveProgress(0, st) }
+		}
 		status, err = s.Solve(assumptions...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "satsolve:", err)

@@ -20,11 +20,13 @@ import (
 	"time"
 
 	"repro/internal/distrib"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		connect   = flag.String("connect", "127.0.0.1:9731", "coordinator address")
+		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
 		cores     = flag.Int("cores", 1, "local solver instances per job")
 		name      = flag.String("name", "", "worker name reported to the coordinator")
 		reconnect = flag.Int("reconnect", 0, "max consecutive reconnect attempts after connection loss (0: exit on loss)")
@@ -36,6 +38,11 @@ func main() {
 		stallFor  = flag.Duration("stall-for", 30*time.Second, "stall duration for -fault-stall")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		srv, _ := obs.Serve(*pprofAddr, obs.NewMux(obs.MuxOptions{Pprof: true}))
+		defer srv.Close()
+	}
 
 	var plan *distrib.FaultPlan
 	if *dropAt >= 0 || *corruptAt >= 0 || *stallAt >= 0 || *seed != 0 {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/flatten"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/sat"
@@ -99,6 +100,38 @@ type Options struct {
 	// through the elimination trail. This matches the paper's solver
 	// configuration ("MiniSat 2.2.1 with simplifier", Sect. 3.4).
 	Preprocess bool
+	// Tracer, when non-nil, emits one timed span per pipeline phase
+	// (unfold, flatten, encode, partition, preprocess, solve, validate)
+	// under a root "verify" span. Nil is the zero-overhead fast path.
+	Tracer *obs.Tracer
+	// Progress, when non-nil and ProgressEvery > 0, receives live
+	// per-partition search statistics every ProgressEvery conflicts
+	// while solving (from the solver goroutines).
+	Progress func(partition int, st sat.Stats)
+	// ProgressEvery is the conflict cadence of Progress callbacks.
+	ProgressEvery int64
+
+	// span is the enclosing span for sub-phase emission; set by Verify
+	// so EncodeProgram's phases nest under the "verify" root.
+	span *obs.Span
+}
+
+// phase opens a span for one pipeline phase, nested under the Verify
+// root span when called from Verify, or a root span when the phase
+// helpers (EncodeProgram, MakePartitions) are used standalone.
+func (o *Options) phase(name string, attrs ...obs.Attr) *obs.Span {
+	if o.span != nil {
+		return o.span.Child(name, attrs...)
+	}
+	return o.Tracer.Start(name, attrs...)
+}
+
+// PhaseTiming is one pipeline phase's wall-clock cost, in execution
+// order. The same data the tracer emits as spans, kept on the Result so
+// callers (parbmc -stats) need no sink round-trip.
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -141,6 +174,10 @@ type Result struct {
 	// EncodeTime and SolveTime split the wall-clock cost.
 	EncodeTime time.Duration
 	SolveTime  time.Duration
+	// Phases breaks the run into per-phase wall-clock timings
+	// (unfold, flatten, encode, partition, preprocess, solve, validate)
+	// in execution order; phases that did not run are absent.
+	Phases []PhaseTiming
 
 	// Instances are the per-partition solver results.
 	Instances []parallel.InstanceResult
@@ -150,32 +187,71 @@ type Result struct {
 }
 
 // Verify runs the full pipeline on a checked program.
-func Verify(ctx context.Context, p *prog.Program, opts Options) (*Result, error) {
+func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, err error) {
 	opts.setDefaults()
 
-	enc, fp, encodeTime, err := EncodeProgram(p, opts)
+	root := opts.Tracer.Start("verify",
+		obs.KV("unwind", opts.Unwind), obs.KV("contexts", opts.Contexts),
+		obs.KV("rounds", opts.Rounds), obs.KV("width", opts.Width),
+		obs.KV("cores", opts.Cores))
+	opts.span = root
+	defer func() {
+		if err != nil {
+			root.End(obs.KV("error", err.Error()))
+		} else {
+			root.End(obs.KV("verdict", res.Verdict.String()))
+		}
+	}()
+	var phases []PhaseTiming
+	timePhase := func(name string, start time.Time) {
+		phases = append(phases, PhaseTiming{Name: name, Duration: time.Since(start)})
+	}
+
+	enc, fp, encTiming, err := EncodeProgram(p, opts)
 	if err != nil {
 		return nil, err
 	}
 	_ = fp
+	phases = append(phases,
+		PhaseTiming{Name: "unfold", Duration: encTiming.Unfold},
+		PhaseTiming{Name: "flatten", Duration: encTiming.Flatten},
+		PhaseTiming{Name: "encode", Duration: encTiming.Encode},
+	)
+	encodeTime := encTiming.Total()
 
+	partSpan := opts.phase("partition")
+	partStart := time.Now()
 	parts, err := MakePartitions(enc, opts)
 	if err != nil {
+		partSpan.End(obs.KV("error", err.Error()))
 		return nil, err
 	}
+	timePhase("partition", partStart)
+	partSpan.End(obs.KV("partitions", len(parts)))
 
 	formula := enc.Formula()
 	var simplifier *sat.Simplifier
 	var preDecided sat.Status
 	if opts.Preprocess {
+		preSpan := opts.phase("preprocess", obs.KV("vars", formula.NumVars), obs.KV("clauses", formula.NumClauses()))
+		preStart := time.Now()
 		simplifier = sat.NewSimplifier()
 		simplifier.FreezeLits(protectedLits(enc)...)
 		simplified, st := simplifier.Simplify(formula)
 		preDecided = st
 		formula = simplified
+		timePhase("preprocess", preStart)
+		preSpan.End(obs.KV("clauses_after", formula.NumClauses()))
 	}
 
-	popts := parallel.Options{Workers: opts.Cores, Solver: opts.Solver, CertifyUnsat: opts.CertifyUnsat}
+	popts := parallel.Options{
+		Workers: opts.Cores, Solver: opts.Solver, CertifyUnsat: opts.CertifyUnsat,
+		Progress: opts.Progress, ProgressEvery: opts.ProgressEvery,
+	}
+	solveSpan := opts.phase("solve",
+		obs.KV("partitions", len(parts)), obs.KV("workers", opts.Cores),
+		obs.KV("vars", formula.NumVars), obs.KV("clauses", formula.NumClauses()))
+	solveStart := time.Now()
 	var pres *parallel.Result
 	switch preDecided {
 	case sat.Unsat:
@@ -199,9 +275,12 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (*Result, error)
 			pres, err = parallel.Solve(ctx, formula, parts, popts)
 		}
 		if err != nil {
+			solveSpan.End(obs.KV("error", err.Error()))
 			return nil, err
 		}
 	}
+	timePhase("solve", solveStart)
+	solveSpan.End(obs.KV("status", pres.Status.String()), obs.KV("winner", pres.Winner))
 	if simplifier != nil && pres.Status == sat.Sat {
 		model := pres.Model
 		if len(model) < enc.Formula().NumVars {
@@ -216,7 +295,7 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (*Result, error)
 	for i, th := range enc.Program.Threads {
 		procs[i] = th.Proc
 	}
-	res := &Result{
+	res = &Result{
 		Certified:   pres.Certified,
 		Vars:        formula.NumVars,
 		Clauses:     formula.NumClauses(),
@@ -233,10 +312,15 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (*Result, error)
 		res.Verdict = Unsafe
 		res.Trace = trace.Decode(enc, pres.Model)
 		if !opts.SkipValidation {
-			viol, err := trace.Validate(enc, res.Trace)
-			if err != nil {
-				return nil, fmt.Errorf("core: counterexample validation failed: %w", err)
+			valSpan := opts.phase("validate")
+			valStart := time.Now()
+			viol, verr := trace.Validate(enc, res.Trace)
+			if verr != nil {
+				valSpan.End(obs.KV("error", verr.Error()))
+				return nil, fmt.Errorf("core: counterexample validation failed: %w", verr)
 			}
+			timePhase("validate", valStart)
+			valSpan.End()
 			res.Violation = viol
 		}
 	case sat.Unsat:
@@ -244,23 +328,50 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (*Result, error)
 	default:
 		res.Verdict = Unknown
 	}
+	res.Phases = phases
 	return res, nil
 }
 
+// EncodeTiming splits the front half of the pipeline (unfold, flatten,
+// encode) into per-phase wall-clock costs. The encode phase covers
+// verification-condition generation and the interleaved Tseitin CNF
+// conversion (the bit-vector builder emits clauses as it goes, so the
+// two are not separable).
+type EncodeTiming struct {
+	Unfold  time.Duration
+	Flatten time.Duration
+	Encode  time.Duration
+}
+
+// Total is the summed front-half cost (the Result.EncodeTime quantity).
+func (t EncodeTiming) Total() time.Duration { return t.Unfold + t.Flatten + t.Encode }
+
 // EncodeProgram runs the front half of the pipeline (unfold, flatten,
-// encode) and returns the encoded formula. Exposed for the benchmark
-// harness, which reuses one encoding across many solver configurations.
-func EncodeProgram(p *prog.Program, opts Options) (*vc.Encoded, *flatten.Program, time.Duration, error) {
+// encode) and returns the encoded formula with per-phase timings.
+// Exposed for the benchmark harness, which reuses one encoding across
+// many solver configurations.
+func EncodeProgram(p *prog.Program, opts Options) (*vc.Encoded, *flatten.Program, EncodeTiming, error) {
 	opts.setDefaults()
+	var timing EncodeTiming
+
+	unfoldSpan := opts.phase("unfold", obs.KV("unwind", opts.Unwind))
 	start := time.Now()
 	up, err := unfold.Unfold(p, unfold.Options{Unwind: opts.Unwind, MaxThreads: opts.MaxThreads})
+	timing.Unfold = time.Since(start)
+	unfoldSpan.End()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, timing, err
 	}
+
+	flatSpan := opts.phase("flatten")
+	start = time.Now()
 	fp, err := flatten.Flatten(up)
+	timing.Flatten = time.Since(start)
+	flatSpan.End()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, timing, err
 	}
+
 	vopts := vc.Options{
 		Width:      opts.Width,
 		ZeroLocals: opts.ZeroLocals,
@@ -271,11 +382,16 @@ func EncodeProgram(p *prog.Program, opts Options) (*vc.Encoded, *flatten.Program
 	} else {
 		vopts.Contexts = opts.Contexts
 	}
+	encSpan := opts.phase("encode")
+	start = time.Now()
 	enc, err := vc.Encode(fp, vopts)
+	timing.Encode = time.Since(start)
 	if err != nil {
-		return nil, nil, 0, err
+		encSpan.End(obs.KV("error", err.Error()))
+		return nil, nil, timing, err
 	}
-	return enc, fp, time.Since(start), nil
+	encSpan.End(obs.KV("vars", enc.Formula().NumVars), obs.KV("clauses", enc.Formula().NumClauses()))
+	return enc, fp, timing, nil
 }
 
 // MakePartitions builds the partition list for the encoded formula,

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/sat"
 	"repro/prog"
 )
 
@@ -42,6 +44,14 @@ type CoordinatorOptions struct {
 	// giving up with Unknown; reconnecting workers must come back within
 	// this window (default 30s).
 	DrainTimeout time.Duration
+	// Metrics, when non-nil, receives live chunk/worker gauges and
+	// aggregated remote solver counters, for scraping via /metrics
+	// during the run. Nil disables instrumentation at no cost.
+	Metrics *obs.Registry
+	// Health, when non-nil, is the worker-health registry to record
+	// into; cmd/coordinator shares one instance with its /healthz
+	// endpoint. Nil: Coordinate creates a private one.
+	Health *HealthRegistry
 }
 
 // CoordinatorResult aggregates a distributed run.
@@ -67,6 +77,13 @@ type CoordinatorResult struct {
 	// Drained reports that the run ended because chunks were pending but
 	// no workers remained connected for DrainTimeout.
 	Drained bool
+	// RemoteStats aggregates the search statistics of every remote job
+	// result (including retried attempts), so distributed runs report
+	// the same solver telemetry as local ones.
+	RemoteStats sat.Stats
+	// SolveMillis sums the remote per-job solver wall time — the total
+	// search effort spent across the cluster, as opposed to Wall.
+	SolveMillis int64
 }
 
 // coordinator is the shared state of one Coordinate call.
@@ -85,7 +102,8 @@ type coordinator struct {
 	pending chan partition.Chunk
 	done    chan struct{}
 	tracker *chunkTracker
-	health  *healthRegistry
+	health  *HealthRegistry
+	metrics *coordMetrics
 }
 
 // Coordinate serves the analysis of program p over the workers that
@@ -120,6 +138,10 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	}
 	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
 
+	health := opts.Health
+	if health == nil {
+		health = NewHealthRegistry()
+	}
 	start := time.Now()
 	co := &coordinator{
 		opts:      opts,
@@ -129,8 +151,11 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		pending:   make(chan partition.Chunk, len(chunks)),
 		done:      make(chan struct{}),
 		tracker:   newChunkTracker(opts.MaxAttempts),
-		health:    newHealthRegistry(),
+		health:    health,
+		metrics:   newCoordMetrics(opts.Metrics),
 	}
+	co.metrics.chunksTotal.Set(int64(len(chunks)))
+	co.metrics.chunksRemaining.Set(int64(len(chunks)))
 	for _, ch := range chunks {
 		co.pending <- ch
 	}
@@ -168,7 +193,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	res := co.res
 	res.Quarantined = co.tracker.failureLog()
 	res.Attempts = co.tracker.attempts()
-	res.Workers = co.health.snapshot()
+	res.Workers = co.health.Snapshot()
 	if res.Verdict == core.Safe && (co.remaining > 0 || len(res.Quarantined) > 0) {
 		res.Verdict = core.Unknown
 	}
@@ -192,6 +217,7 @@ func (co *coordinator) workerJoined() {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.active++
+	co.metrics.workersActive.Set(int64(co.active))
 	if co.drain != nil {
 		co.drain.Stop()
 		co.drain = nil
@@ -202,6 +228,7 @@ func (co *coordinator) workerLeft() {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.active--
+	co.metrics.workersActive.Set(int64(co.active))
 	if co.active == 0 && co.remaining > 0 && !co.finished {
 		if co.drain != nil {
 			co.drain.Stop()
@@ -264,6 +291,8 @@ func (co *coordinator) serve(c net.Conn) {
 			return
 		}
 		co.health.jobDone(key)
+		co.metrics.jobResult(key, reply.Stats, reply.SolveMillis)
+		co.recordRemoteStats(reply)
 		switch reply.Verdict {
 		case core.Unsafe.String():
 			co.mu.Lock()
@@ -278,6 +307,7 @@ func (co *coordinator) serve(c net.Conn) {
 			co.mu.Lock()
 			co.res.Jobs++
 			co.remaining--
+			co.metrics.chunksRemaining.Set(int64(co.remaining))
 			fin := co.remaining == 0
 			if fin {
 				co.finishLocked()
@@ -327,6 +357,7 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 		case "heartbeat":
 			if reply.JobID == id {
 				co.health.touch(key)
+				co.metrics.heartbeat(key, reply.Conflicts, reply.Propagations)
 			}
 			// A stale heartbeat from the previous job is harmless: skip.
 		case "result":
@@ -343,9 +374,22 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 	}
 }
 
+// recordRemoteStats folds one job result's search statistics into the
+// run aggregate (all results count, retried attempts included: the
+// aggregate measures search effort spent, not effort kept).
+func (co *coordinator) recordRemoteStats(reply *Message) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if reply.Stats != nil {
+		co.res.RemoteStats.Add(*reply.Stats)
+	}
+	co.res.SolveMillis += reply.SolveMillis
+}
+
 // failChunk charges a failed attempt to both the worker and the chunk.
 func (co *coordinator) failChunk(chunk partition.Chunk, key, reason string) {
 	co.health.failed(key)
+	co.metrics.workerFailed(key)
 	co.requeueOrQuarantine(chunk, key, reason)
 }
 
@@ -354,14 +398,17 @@ func (co *coordinator) failChunk(chunk partition.Chunk, key, reason string) {
 // again. Quarantining the last unresolved chunk ends the run.
 func (co *coordinator) requeueOrQuarantine(chunk partition.Chunk, key, reason string) {
 	if co.tracker.failed(chunk, reason) {
+		co.metrics.quarantined.Inc()
 		co.mu.Lock()
 		co.remaining--
+		co.metrics.chunksRemaining.Set(int64(co.remaining))
 		if co.remaining == 0 {
 			co.finishLocked()
 		}
 		co.mu.Unlock()
 		return
 	}
+	co.metrics.reassigned.Inc()
 	co.mu.Lock()
 	co.res.Reassigned++
 	co.mu.Unlock()

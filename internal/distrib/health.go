@@ -20,20 +20,24 @@ type WorkerHealth struct {
 	LastSeen    time.Time
 }
 
-// healthRegistry is the coordinator's view of every worker that ever
-// said hello.
-type healthRegistry struct {
+// HealthRegistry is the coordinator's view of every worker that ever
+// said hello. It is exported so cmd/coordinator can share one instance
+// between Coordinate and its /healthz HTTP endpoint (pass it through
+// CoordinatorOptions.Health); Snapshot is safe to call concurrently with
+// a live run.
+type HealthRegistry struct {
 	mu      sync.Mutex
 	workers map[string]*WorkerHealth
 }
 
-func newHealthRegistry() *healthRegistry {
-	return &healthRegistry{workers: make(map[string]*WorkerHealth)}
+// NewHealthRegistry builds an empty registry.
+func NewHealthRegistry() *HealthRegistry {
+	return &HealthRegistry{workers: make(map[string]*WorkerHealth)}
 }
 
 // connected records a completed hello and returns the registry key for
 // the connection's subsequent events.
-func (r *healthRegistry) connected(name, addr string) string {
+func (r *HealthRegistry) connected(name, addr string) string {
 	key := name
 	if key == "" {
 		key = addr
@@ -50,7 +54,7 @@ func (r *healthRegistry) connected(name, addr string) string {
 	return key
 }
 
-func (r *healthRegistry) jobDone(key string) {
+func (r *HealthRegistry) jobDone(key string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if w := r.workers[key]; w != nil {
@@ -59,7 +63,7 @@ func (r *healthRegistry) jobDone(key string) {
 	}
 }
 
-func (r *healthRegistry) failed(key string) {
+func (r *HealthRegistry) failed(key string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if w := r.workers[key]; w != nil {
@@ -69,7 +73,7 @@ func (r *healthRegistry) failed(key string) {
 }
 
 // touch refreshes LastSeen (heartbeats).
-func (r *healthRegistry) touch(key string) {
+func (r *HealthRegistry) touch(key string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if w := r.workers[key]; w != nil {
@@ -77,8 +81,9 @@ func (r *healthRegistry) touch(key string) {
 	}
 }
 
-// snapshot returns value copies sorted by name.
-func (r *healthRegistry) snapshot() []WorkerHealth {
+// Snapshot returns value copies sorted by name. It may be called
+// concurrently with a live run (the /healthz endpoint does).
+func (r *HealthRegistry) Snapshot() []WorkerHealth {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]WorkerHealth, 0, len(r.workers))

@@ -1,0 +1,91 @@
+package distrib
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sat"
+)
+
+// coordMetrics bundles the coordinator's instruments. Built from
+// CoordinatorOptions.Metrics; with a nil registry every instrument is
+// nil and every update is a no-op (obs instruments are nil-safe), so
+// the coordinator code updates metrics unconditionally.
+type coordMetrics struct {
+	reg *obs.Registry
+
+	chunksTotal     *obs.Gauge
+	chunksRemaining *obs.Gauge
+	workersActive   *obs.Gauge
+	jobsTotal       *obs.Counter
+	reassigned      *obs.Counter
+	quarantined     *obs.Counter
+	heartbeats      *obs.Counter
+
+	remoteDecisions    *obs.Counter
+	remoteConflicts    *obs.Counter
+	remotePropagations *obs.Counter
+	remoteRestarts     *obs.Counter
+	remoteLearnt       *obs.Counter
+	solveSeconds       *obs.Histogram
+}
+
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	return &coordMetrics{
+		reg: reg,
+		chunksTotal: reg.Gauge("parbmc_coordinator_chunks_total",
+			"Total work chunks in this run."),
+		chunksRemaining: reg.Gauge("parbmc_coordinator_chunks_remaining",
+			"Chunks neither refuted nor quarantined yet."),
+		workersActive: reg.Gauge("parbmc_coordinator_workers_active",
+			"Workers currently connected past hello."),
+		jobsTotal: reg.Counter("parbmc_coordinator_jobs_total",
+			"Work units completed (including reassignments)."),
+		reassigned: reg.Counter("parbmc_coordinator_reassigned_total",
+			"Chunks handed to another worker after a failure."),
+		quarantined: reg.Counter("parbmc_coordinator_quarantined_total",
+			"Chunks that exhausted their attempt budget."),
+		heartbeats: reg.Counter("parbmc_coordinator_heartbeats_total",
+			"Heartbeat messages received from workers."),
+		remoteDecisions: reg.Counter("parbmc_remote_decisions_total",
+			"Solver decisions aggregated from remote job results."),
+		remoteConflicts: reg.Counter("parbmc_remote_conflicts_total",
+			"Solver conflicts aggregated from remote job results."),
+		remotePropagations: reg.Counter("parbmc_remote_propagations_total",
+			"Solver propagations aggregated from remote job results."),
+		remoteRestarts: reg.Counter("parbmc_remote_restarts_total",
+			"Solver restarts aggregated from remote job results."),
+		remoteLearnt: reg.Counter("parbmc_remote_learnt_total",
+			"Learnt clauses aggregated from remote job results."),
+		solveSeconds: reg.Histogram("parbmc_job_solve_seconds",
+			"Per-job remote solver wall time in seconds.", nil),
+	}
+}
+
+// jobResult charges one completed job's remote statistics.
+func (m *coordMetrics) jobResult(worker string, st *sat.Stats, solveMillis int64) {
+	m.jobsTotal.Inc()
+	m.reg.Counter("parbmc_worker_jobs_total",
+		"Jobs completed per worker.", "worker", worker).Inc()
+	if st != nil {
+		m.remoteDecisions.Add(st.Decisions)
+		m.remoteConflicts.Add(st.Conflicts)
+		m.remotePropagations.Add(st.Propagations)
+		m.remoteRestarts.Add(st.Restarts)
+		m.remoteLearnt.Add(st.Learnt)
+	}
+	m.solveSeconds.Observe(float64(solveMillis) / 1000)
+}
+
+// heartbeat records one live-progress heartbeat from a worker.
+func (m *coordMetrics) heartbeat(worker string, conflicts, propagations int64) {
+	m.heartbeats.Inc()
+	m.reg.Gauge("parbmc_worker_live_conflicts",
+		"Live conflict count of the worker's current job.", "worker", worker).Set(conflicts)
+	m.reg.Gauge("parbmc_worker_live_propagations",
+		"Live propagation count of the worker's current job.", "worker", worker).Set(propagations)
+}
+
+// workerFailed charges one failed attempt to a worker.
+func (m *coordMetrics) workerFailed(worker string) {
+	m.reg.Counter("parbmc_worker_failures_total",
+		"Failed attempts charged per worker.", "worker", worker).Inc()
+}

@@ -1,0 +1,189 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/prog"
+)
+
+// scrape fetches /metrics from the observability mux.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue finds the first sample for name (exact match before the
+// space or '{') in a text exposition body; ok reports whether it exists.
+func metricValue(body, name string) (float64, bool) {
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, found := strings.CutPrefix(line, name)
+		if !found || (!strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{")) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// TestDistributedMetricsScrape runs a live distributed analysis with the
+// coordinator's metrics registry mounted on an HTTP mux, scrapes
+// /metrics while workers are solving, and checks that chunk/worker
+// gauges move and that remote sat.Stats are aggregated into both the
+// exposition and the CoordinatorResult.
+func TestDistributedMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	health := NewHealthRegistry()
+	srv := httptest.NewServer(obs.NewMux(obs.MuxOptions{
+		Registry: reg,
+		Health:   func() any { return health.Snapshot() },
+	}))
+	defer srv.Close()
+
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 1,
+		Metrics: reg,
+		Health:  health,
+	})
+
+	// Gauges are primed before any worker joins.
+	body := scrape(t, srv.URL)
+	if v, ok := metricValue(body, "parbmc_coordinator_chunks_total"); !ok || v != 4 {
+		t.Fatalf("chunks_total before workers: got %v (present %v)\n%s", v, ok, body)
+	}
+	if v, ok := metricValue(body, "parbmc_coordinator_workers_active"); !ok || v != 0 {
+		t.Fatalf("workers_active before workers: got %v (present %v)", v, ok)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := Work(context.Background(), addr, WorkerOptions{Name: "scraped", Cores: 1})
+		if err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+
+	// Scrape concurrently with the run: the worker stays connected for
+	// all four jobs, so polling must observe the active-worker gauge.
+	var sawActiveWorker bool
+	var res *CoordinatorResult
+poll:
+	for {
+		select {
+		case res = <-resCh:
+			break poll
+		default:
+			if v, ok := metricValue(scrape(t, srv.URL), "parbmc_coordinator_workers_active"); ok && v > 0 {
+				sawActiveWorker = true
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if !sawActiveWorker {
+		t.Error("never observed parbmc_coordinator_workers_active > 0 during the run")
+	}
+
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	// Remote search statistics made it back through the protocol.
+	// (Decisions may legitimately be 0: these partitions refute by pure
+	// propagation, so propagations is the counter guaranteed to move.)
+	if res.RemoteStats.Propagations == 0 {
+		t.Fatalf("no remote propagations aggregated: %+v", res.RemoteStats)
+	}
+	if res.SolveMillis < 0 {
+		t.Fatalf("negative remote solve time: %d", res.SolveMillis)
+	}
+
+	// Final exposition: jobs counted, chunks drained, remote counters
+	// match the aggregated result, per-worker series labeled.
+	body = scrape(t, srv.URL)
+	if v, ok := metricValue(body, "parbmc_coordinator_jobs_total"); !ok || v != float64(res.Jobs) {
+		t.Fatalf("jobs_total: got %v (present %v), want %d", v, ok, res.Jobs)
+	}
+	if v, ok := metricValue(body, "parbmc_coordinator_chunks_remaining"); !ok || v != 0 {
+		t.Fatalf("chunks_remaining after safe run: got %v (present %v)", v, ok)
+	}
+	if v, ok := metricValue(body, "parbmc_remote_propagations_total"); !ok || v != float64(res.RemoteStats.Propagations) {
+		t.Fatalf("remote propagations: exposition %v (present %v) vs result %d",
+			v, ok, res.RemoteStats.Propagations)
+	}
+	if v, ok := metricValue(body, "parbmc_remote_decisions_total"); !ok || v != float64(res.RemoteStats.Decisions) {
+		t.Fatalf("remote decisions: exposition %v (present %v) vs result %d",
+			v, ok, res.RemoteStats.Decisions)
+	}
+	if !strings.Contains(body, `parbmc_worker_jobs_total{worker="scraped"} 4`) {
+		t.Fatalf("per-worker job series missing:\n%s", body)
+	}
+	if v, ok := metricValue(body, "parbmc_job_solve_seconds_count"); !ok || v != float64(res.Jobs) {
+		t.Fatalf("solve histogram count: got %v (present %v), want %d", v, ok, res.Jobs)
+	}
+
+	// /healthz reflects the shared health registry.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(hb), `"scraped"`) {
+		t.Fatalf("healthz missing worker snapshot:\n%s", hb)
+	}
+}
+
+// TestRemoteStatsOverProtocol pins that job results carry sat.Stats and
+// solve wall time without any metrics registry attached.
+func TestRemoteStatsOverProtocol(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 4, Partitions: 4, ChunkSize: 2,
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = Work(context.Background(), addr, WorkerOptions{Name: "w", Cores: 1})
+	}()
+	res := waitResult(t, resCh)
+	wg.Wait()
+	if res.Verdict != core.Unsafe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.RemoteStats.Propagations == 0 {
+		t.Fatalf("no remote stats over protocol: %+v", res.RemoteStats)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/sat"
 )
 
 // maxFrameBytes caps one line-delimited frame so a misbehaving peer
@@ -37,11 +39,22 @@ type Message struct {
 	To              int    `json:"to"`
 	HeartbeatMillis int64  `json:"hb_millis,omitempty"`
 
-	// Result fields. Heartbeats carry JobID only.
-	Verdict string `json:"verdict,omitempty"`
-	Winner  int    `json:"winner,omitempty"`
-	Millis  int64  `json:"millis,omitempty"`
-	Error   string `json:"error,omitempty"`
+	// Result fields. SolveMillis is the solver's share of Millis, and
+	// Stats aggregates the job's per-partition search statistics, so
+	// remote search effort reaches the coordinator instead of being
+	// dropped at the worker.
+	Verdict     string     `json:"verdict,omitempty"`
+	Winner      int        `json:"winner,omitempty"`
+	Millis      int64      `json:"millis,omitempty"`
+	SolveMillis int64      `json:"solve_millis,omitempty"`
+	Stats       *sat.Stats `json:"stats,omitempty"`
+	Error       string     `json:"error,omitempty"`
+
+	// Heartbeat live-progress fields: cumulative conflicts and
+	// propagations across the job's solver instances so far, snapshotted
+	// by the solver progress hook while the job is still running.
+	Conflicts    int64 `json:"conflicts,omitempty"`
+	Propagations int64 `json:"propagations,omitempty"`
 }
 
 // conn wraps a TCP connection with line-delimited JSON framing. Sends

@@ -5,11 +5,17 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sat"
 	"repro/prog"
 )
+
+// liveProgressEvery is the conflict cadence at which a worker's solver
+// instances snapshot their statistics for heartbeat live progress.
+const liveProgressEvery = 200
 
 // WorkerOptions configures a worker process.
 type WorkerOptions struct {
@@ -174,13 +180,58 @@ func (w *worker) inject(ctx context.Context, wc *conn, f *FaultEvent) (done bool
 	return false, nil
 }
 
+// jobProgress accumulates live per-partition search statistics from the
+// solver progress hook; heartbeats read the cross-partition totals. The
+// hook fires from solver goroutines, so updates are mutex-guarded.
+type jobProgress struct {
+	mu           sync.Mutex
+	conflicts    map[int]int64
+	propagations map[int]int64
+}
+
+func newJobProgress() *jobProgress {
+	return &jobProgress{conflicts: make(map[int]int64), propagations: make(map[int]int64)}
+}
+
+// update stores the latest snapshot for one partition (snapshots are
+// cumulative per instance, so last-write-wins is the right semantics).
+func (p *jobProgress) update(part int, st sat.Stats) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.conflicts[part] = st.Conflicts
+	p.propagations[part] = st.Propagations
+	p.mu.Unlock()
+}
+
+// totals sums the latest snapshots across partitions.
+func (p *jobProgress) totals() (conflicts, propagations int64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conflicts {
+		conflicts += c
+	}
+	for _, pr := range p.propagations {
+		propagations += pr
+	}
+	return conflicts, propagations
+}
+
 // runJobWithHeartbeats runs the job while a side goroutine heartbeats at
 // the cadence the coordinator asked for, so a busy solver is
-// distinguishable from a hung worker. The sender is stopped before the
-// result goes out, so a result is never followed by its own heartbeat.
+// distinguishable from a hung worker; each heartbeat carries the live
+// conflict/propagation totals from the solver progress hook. The sender
+// is stopped before the result goes out, so a result is never followed
+// by its own heartbeat.
 func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message) *Message {
 	var hbStop, hbDone chan struct{}
+	var progress *jobProgress
 	if m.HeartbeatMillis > 0 {
+		progress = newJobProgress()
 		hbStop, hbDone = make(chan struct{}), make(chan struct{})
 		interval := time.Duration(m.HeartbeatMillis) * time.Millisecond
 		go func() {
@@ -192,14 +243,17 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message)
 				case <-hbStop:
 					return
 				case <-t.C:
-					if err := wc.send(&Message{Type: "heartbeat", JobID: m.JobID}); err != nil {
+					conflicts, propagations := progress.totals()
+					hb := &Message{Type: "heartbeat", JobID: m.JobID,
+						Conflicts: conflicts, Propagations: propagations}
+					if err := wc.send(hb); err != nil {
 						return
 					}
 				}
 			}
 		}()
 	}
-	reply := runJob(ctx, m, w.opts.Cores)
+	reply := runJob(ctx, m, w.opts.Cores, progress)
 	if hbStop != nil {
 		close(hbStop)
 		<-hbDone
@@ -207,15 +261,14 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message)
 	return reply
 }
 
-func runJob(ctx context.Context, m *Message, cores int) *Message {
+func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *Message {
 	reply := &Message{Type: "result", JobID: m.JobID, Winner: -1}
 	p, err := prog.Parse(m.Source)
 	if err != nil {
 		reply.Error = err.Error()
 		return reply
 	}
-	start := time.Now()
-	res, err := core.Verify(ctx, p, core.Options{
+	opts := core.Options{
 		Unwind:     m.Unwind,
 		Contexts:   m.Contexts,
 		Width:      m.Width,
@@ -223,13 +276,28 @@ func runJob(ctx context.Context, m *Message, cores int) *Message {
 		Partitions: m.Partitions,
 		From:       m.From,
 		To:         m.To + 1,
-	})
+	}
+	if progress != nil {
+		opts.Progress = progress.update
+		opts.ProgressEvery = liveProgressEvery
+	}
+	start := time.Now()
+	res, err := core.Verify(ctx, p, opts)
 	reply.Millis = time.Since(start).Milliseconds()
 	if err != nil {
 		reply.Error = err.Error()
 		return reply
 	}
 	reply.Verdict = res.Verdict.String()
+	reply.SolveMillis = res.SolveTime.Milliseconds()
+	// Aggregate the per-partition search statistics so the coordinator
+	// sees the remote search effort (load skew, conflict rates) instead
+	// of the stats dying with the worker process.
+	var agg sat.Stats
+	for _, inst := range res.Instances {
+		agg.Add(inst.Stats)
+	}
+	reply.Stats = &agg
 	if res.Verdict == core.Unsafe {
 		// res.Winner is the absolute partition index (the partition list
 		// keeps its original indices across the subrange).

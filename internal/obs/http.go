@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MuxOptions configures the observability HTTP surface.
+type MuxOptions struct {
+	// Registry backs /metrics (nil: /metrics serves an empty exposition).
+	Registry *Registry
+	// Health, when non-nil, is called per /healthz request and its result
+	// rendered as JSON under "detail"; nil yields {"status":"ok"} only.
+	Health func() any
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// NewMux builds the HTTP handler serving /metrics (Prometheus text
+// format), /healthz (JSON), and optionally the pprof endpoints.
+func NewMux(opts MuxOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		opts.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := map[string]any{"status": "ok"}
+		if opts.Health != nil {
+			body["detail"] = opts.Health()
+		}
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve starts an HTTP server for mux on addr in a background goroutine
+// and returns it; callers Close it on shutdown. Binding errors are
+// reported through errc (buffered, at most one send) because the
+// observability surface must not abort the verification run.
+func Serve(addr string, mux http.Handler) (*http.Server, <-chan error) {
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	return srv, errc
+}

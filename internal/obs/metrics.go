@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe metrics registry rendered in the
+// Prometheus text exposition format. Metric instruments are created once
+// (idempotently: re-requesting the same name+labels returns the same
+// instrument) and updated lock-free with atomics; only creation and
+// rendering take the registry lock.
+//
+// A nil *Registry returns nil instruments, whose update methods are
+// no-ops — instrumented code never checks whether metrics are enabled.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	mu     sync.Mutex
+	series map[string]metric // keyed by rendered label string
+	order  []string          // insertion order of label keys for rendering
+}
+
+type metric interface {
+	write(w io.Writer, name, labels string)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]metric)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	return f
+}
+
+// labelString renders "k1=\"v1\",k2=\"v2\"" with keys in the given order
+// (pairs is alternating key, value).
+func labelString(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+	}
+	return b.String()
+}
+
+func (f *family) get(labels string, mk func() metric) metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.series[labels]
+	if m == nil {
+		m = mk()
+		f.series[labels] = m
+		f.order = append(f.order, labels)
+	}
+	return m
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Counter returns (creating if needed) the counter name with the given
+// label pairs (alternating key, value).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "counter")
+	return f.get(labelString(labels), func() metric { return &Counter{} }).(*Counter)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, float64(c.v.Load()))
+}
+
+// Gauge is a settable int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Gauge returns (creating if needed) the gauge name with the given
+// label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "gauge")
+	return f.get(labelString(labels), func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, float64(g.v.Load()))
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations and
+// rendering are lock-free (atomics only).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// atomicFloat is a float64 updated by CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// DefaultDurationBuckets are upper bounds in seconds suited to solver
+// phase and job durations (1ms … ~2min).
+var DefaultDurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 30, 120}
+
+// Histogram returns (creating if needed) the histogram name with the
+// given bucket upper bounds (nil: DefaultDurationBuckets) and label
+// pairs. Bounds are fixed by the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefaultDurationBuckets
+	}
+	f := r.family(name, help, "histogram")
+	return f.get(labelString(labels), func() metric {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds))
+		return h
+	}).(*Histogram)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := fmt.Sprintf("le=%q", formatFloat(b))
+		writeSample(w, name+"_bucket", joinLabels(labels, le), float64(cum))
+	}
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(h.count.Load()))
+	writeSample(w, name+"_sum", labels, h.sum.load())
+	writeSample(w, name+"_count", labels, float64(h.count.Load()))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%g", v)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels != "" {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+	} else {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	}
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name, series in insertion order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		series := make([]string, len(f.order))
+		copy(series, f.order)
+		metrics := make([]metric, len(series))
+		for i, labels := range series {
+			metrics[i] = f.series[labels]
+		}
+		f.mu.Unlock()
+		for i, labels := range series {
+			metrics[i].write(w, f.name, labels)
+		}
+	}
+}

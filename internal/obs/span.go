@@ -1,0 +1,192 @@
+// Package obs is the pipeline-wide observability layer: hierarchical
+// timed spans over the verification pipeline (parse → unfold → flatten →
+// encode → partition → solve → validate), a concurrency-safe metrics
+// registry rendered in Prometheus text exposition format, and an HTTP
+// surface (/metrics, /healthz, optional pprof) for the long-running
+// binaries.
+//
+// Everything is nil-safe by design: a nil *Tracer, *Span, *Registry,
+// *Counter, *Gauge or *Histogram accepts every call as a no-op, so
+// instrumented code paths never branch on "is observability enabled" —
+// they simply call through, and the disabled path costs one nil check.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one completed span, emitted to the sink as a single record
+// when the span ends. Times are wall-clock; Dur is the span's duration.
+type Event struct {
+	// Time is the span start time (RFC 3339 with sub-second precision).
+	Time time.Time `json:"ts"`
+	// Name is the span name (the pipeline phase, e.g. "solve").
+	Name string `json:"span"`
+	// ID is the span's sequence number, unique within one Tracer.
+	ID int64 `json:"id"`
+	// Parent is the enclosing span's ID (0 for root spans).
+	Parent int64 `json:"parent,omitempty"`
+	// DurMicros is the span duration in microseconds.
+	DurMicros int64 `json:"dur_us"`
+	// Attrs carries span attributes (partition index, verdict, sizes…).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink receives completed span events. Implementations must be safe for
+// concurrent use: spans end from whatever goroutine ran the phase.
+type Sink interface {
+	Emit(e Event)
+}
+
+// JSONLSink writes one JSON object per line to w, serialised by a mutex.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w in a line-delimited JSON sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line. Encoding errors are dropped:
+// tracing must never fail the pipeline.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}
+
+// Tracer hands out hierarchical spans and forwards completed spans to
+// its sink. The zero of *Tracer (nil) is the disabled tracer: Start
+// returns a nil span and every span method is a no-op — the fast path
+// used when no -trace-out flag is given.
+type Tracer struct {
+	sink Sink
+	now  func() time.Time
+	seq  atomic.Int64
+}
+
+// NewTracer builds a tracer emitting to sink. A nil sink yields a nil
+// tracer, so callers can pass an unconditional NewTracer(maybeNil).
+func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, now: time.Now}
+}
+
+// WithClock replaces the tracer's time source (tests inject a
+// deterministic clock). It returns the tracer for chaining.
+func (t *Tracer) WithClock(now func() time.Time) *Tracer {
+	if t != nil && now != nil {
+		t.now = now
+	}
+	return t
+}
+
+// Start opens a root span. On a nil tracer it returns a nil span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	return t.startSpan(name, 0, attrs)
+}
+
+func (t *Tracer) startSpan(name string, parent int64, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{
+		tr:     t,
+		name:   name,
+		id:     t.seq.Add(1),
+		parent: parent,
+		start:  t.now(),
+	}
+	for _, a := range attrs {
+		sp.SetAttr(a.Key, a.Value)
+	}
+	return sp
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an attribute.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed region. All methods are nil-safe.
+type Span struct {
+	tr     *Tracer
+	name   string
+	id     int64
+	parent int64
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Child opens a sub-span of s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(name, s.id, attrs)
+}
+
+// SetAttr records an attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span, emitting one event to the tracer's sink. Extra
+// attributes are merged in first. End is idempotent: only the first
+// call emits.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	for _, a := range attrs {
+		s.SetAttr(a.Key, a.Value)
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrsCopy := s.attrs
+	s.mu.Unlock()
+	end := s.tr.now()
+	s.tr.sink.Emit(Event{
+		Time:      s.start,
+		Name:      s.name,
+		ID:        s.id,
+		Parent:    s.parent,
+		DurMicros: end.Sub(s.start).Microseconds(),
+		Attrs:     attrsCopy,
+	})
+}
+
+// Timed runs fn inside a span named name under parent (parent may be
+// nil, in which case the span is nil too and only fn's cost remains).
+func Timed(parent *Span, name string, fn func()) {
+	sp := parent.Child(name)
+	fn()
+	sp.End()
+}

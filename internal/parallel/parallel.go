@@ -62,6 +62,20 @@ type Options struct {
 	// verdicts are certified independently of the CDCL search — the
 	// counterpart of replay-validating counterexamples.
 	CertifyUnsat bool
+	// Progress, when non-nil and ProgressEvery > 0, receives live
+	// search statistics for a partition every ProgressEvery conflicts,
+	// invoked from that partition's solver goroutine (it must be
+	// concurrency-safe and fast).
+	Progress func(partition int, st sat.Stats)
+	// ProgressEvery is the conflict cadence of Progress callbacks.
+	ProgressEvery int64
+}
+
+// instrument arms one solver instance with the live progress hook.
+func (o *Options) instrument(solver *sat.Solver, part int) {
+	if o.Progress != nil && o.ProgressEvery > 0 {
+		solver.Progress = func(st sat.Stats) { o.Progress(part, st) }
+	}
 }
 
 // Solve checks the formula under each partition's assumptions in
@@ -129,7 +143,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			if opts.DiversifySeeds {
 				sOpts.Seed = uint64(pt.Index) + 1
 			}
+			sOpts.ProgressEvery = opts.ProgressEvery
 			solver := sat.NewFromFormula(f, sOpts)
+			opts.instrument(solver, pt.Index)
 			if opts.CertifyUnsat {
 				solver.EnableProof()
 			}

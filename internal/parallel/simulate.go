@@ -50,7 +50,9 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 		if opts.DiversifySeeds {
 			sOpts.Seed = uint64(pt.Index) + 1
 		}
+		sOpts.ProgressEvery = opts.ProgressEvery
 		solver := sat.NewFromFormula(f, sOpts)
+		opts.instrument(solver, pt.Index)
 		if opts.CertifyUnsat {
 			solver.EnableProof()
 		}

@@ -52,6 +52,12 @@ type Options struct {
 	// Solver is the base solver configuration; each instance derives a
 	// diversified variant from it.
 	Solver sat.Options
+	// Progress, when non-nil and ProgressEvery > 0, receives live
+	// search statistics for an instance every ProgressEvery conflicts,
+	// invoked from that instance's solver goroutine.
+	Progress func(instance int, st sat.Stats)
+	// ProgressEvery is the conflict cadence of Progress callbacks.
+	ProgressEvery int64
 }
 
 // Result is the portfolio outcome.
@@ -165,7 +171,12 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := sat.NewFromFormula(f, diversify(opts.Solver, i, opts.Style))
+			sOpts := diversify(opts.Solver, i, opts.Style)
+			sOpts.ProgressEvery = opts.ProgressEvery
+			s := sat.NewFromFormula(f, sOpts)
+			if opts.Progress != nil && opts.ProgressEvery > 0 {
+				s.Progress = func(st sat.Stats) { opts.Progress(i, st) }
+			}
 			pos := 0
 			s.ShareMaxLBD = maxLBD
 			s.ShareLearnt = func(lits []cnf.Lit, lbd int) {

@@ -33,7 +33,13 @@ func Simulate(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error
 		if err := ctx.Err(); err != nil {
 			return res, nil
 		}
-		s := sat.NewFromFormula(f, diversify(opts.Solver, i, opts.Style))
+		sOpts := diversify(opts.Solver, i, opts.Style)
+		sOpts.ProgressEvery = opts.ProgressEvery
+		s := sat.NewFromFormula(f, sOpts)
+		if opts.Progress != nil && opts.ProgressEvery > 0 {
+			i := i
+			s.Progress = func(st sat.Stats) { opts.Progress(i, st) }
+		}
 		t0 := time.Now()
 		status, err := s.Solve()
 		if err != nil {

@@ -1,0 +1,86 @@
+package sat
+
+import (
+	"testing"
+)
+
+func TestProgressCallback(t *testing.T) {
+	s := NewFromFormula(pigeonhole(6), Options{ProgressEvery: 10})
+	var snaps []Stats
+	s.Progress = func(st Stats) { snaps = append(snaps, st) }
+	status, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Unsat {
+		t.Fatalf("status %v", status)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	for i, st := range snaps {
+		if st.Conflicts%10 != 0 || st.Conflicts == 0 {
+			t.Fatalf("snapshot %d at conflicts=%d, want a positive multiple of 10", i, st.Conflicts)
+		}
+		if i > 0 && st.Conflicts <= snaps[i-1].Conflicts {
+			t.Fatalf("snapshots not monotone: %d then %d", snaps[i-1].Conflicts, st.Conflicts)
+		}
+	}
+	final := s.Stats()
+	last := snaps[len(snaps)-1]
+	if last.Conflicts > final.Conflicts || last.Propagations > final.Propagations {
+		t.Fatalf("snapshot overtook final stats: %+v vs %+v", last, final)
+	}
+}
+
+func TestProgressDisabledByDefault(t *testing.T) {
+	s := NewFromFormula(pigeonhole(5), Options{})
+	s.Progress = func(Stats) { t.Fatal("progress fired with ProgressEvery=0") }
+	if st, err := s.Solve(); err != nil || st != Unsat {
+		t.Fatalf("status %v err %v", st, err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Decisions: 1, Conflicts: 2, Propagations: 3, Restarts: 4, MaxDepth: 5,
+		Backjumps: 6, Learnt: 7, LearntLits: 8, Minimised: 9, Simplified: 10, ElimVars: 11}
+	b := Stats{Decisions: 10, Conflicts: 20, Propagations: 30, Restarts: 40, MaxDepth: 3,
+		Backjumps: 60, Learnt: 70, LearntLits: 80, Minimised: 90, Simplified: 100, ElimVars: 110}
+	a.Add(b)
+	want := Stats{Decisions: 11, Conflicts: 22, Propagations: 33, Restarts: 44, MaxDepth: 5,
+		Backjumps: 66, Learnt: 77, LearntLits: 88, Minimised: 99, Simplified: 110, ElimVars: 121}
+	if a != want {
+		t.Fatalf("got %+v want %+v", a, want)
+	}
+}
+
+// BenchmarkSolve measures the CDCL search with the observability hook
+// in its disabled (nil) state — the fast path every non-instrumented
+// run takes. Compare against BenchmarkSolveProgress to see the cost of
+// an armed hook; the nil path must be indistinguishable from the
+// pre-hook solver.
+func BenchmarkSolve(b *testing.B) {
+	f := pigeonhole(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewFromFormula(f, Options{})
+		if st, err := s.Solve(); err != nil || st != Unsat {
+			b.Fatalf("status %v err %v", st, err)
+		}
+	}
+}
+
+// BenchmarkSolveProgress is the same search with a live progress hook
+// firing every 100 conflicts.
+func BenchmarkSolveProgress(b *testing.B) {
+	f := pigeonhole(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewFromFormula(f, Options{ProgressEvery: 100})
+		var fired int64
+		s.Progress = func(st Stats) { fired++ }
+		if st, err := s.Solve(); err != nil || st != Unsat {
+			b.Fatalf("status %v err %v", st, err)
+		}
+	}
+}

@@ -58,6 +58,25 @@ type Stats struct {
 	ElimVars     int64 // variables eliminated by the preprocessor
 }
 
+// Add accumulates o into s: counters sum, MaxDepth takes the maximum.
+// Used to aggregate per-instance statistics across parallel, portfolio
+// and distributed runs.
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Conflicts += o.Conflicts
+	s.Propagations += o.Propagations
+	s.Restarts += o.Restarts
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.Backjumps += o.Backjumps
+	s.Learnt += o.Learnt
+	s.LearntLits += o.LearntLits
+	s.Minimised += o.Minimised
+	s.Simplified += o.Simplified
+	s.ElimVars += o.ElimVars
+}
+
 // Options configures a Solver.
 type Options struct {
 	// VarDecay is the VSIDS activity decay factor (default 0.95).
@@ -82,6 +101,10 @@ type Options struct {
 	// solving through SolveFormula helpers (the Solver itself never
 	// preprocesses implicitly).
 	NoPreprocess bool
+	// ProgressEvery invokes the solver's Progress callback every this
+	// many conflicts (0 disables; see Solver.Progress). The disabled
+	// path costs a single nil check per conflict.
+	ProgressEvery int64
 }
 
 func (o *Options) setDefaults() {
@@ -161,6 +184,12 @@ type Solver struct {
 	// Import, if non-nil, is polled at every restart for foreign clauses to
 	// add. It must return clauses over existing variables.
 	Import func() [][]cnf.Lit
+	// Progress, if non-nil and Options.ProgressEvery > 0, receives a
+	// snapshot of the search statistics every ProgressEvery conflicts,
+	// from the solving goroutine. It must be fast and must not call back
+	// into the solver; used for live conflict/propagation-rate reporting
+	// in parallel, portfolio and distributed runs.
+	Progress func(Stats)
 }
 
 // New creates a solver with the given number of variables.
@@ -655,6 +684,10 @@ func (s *Solver) search(conflictBudget int64) (Status, error) {
 		if confl != nil {
 			conflicts++
 			s.stats.Conflicts++
+			if s.Progress != nil && s.opts.ProgressEvery > 0 &&
+				s.stats.Conflicts%s.opts.ProgressEvery == 0 {
+				s.Progress(s.stats)
+			}
 			if s.decisionLevel() == 0 {
 				return Unsat, nil
 			}
