@@ -24,6 +24,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,10 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", 0, "give up when no workers remain for this long (default 30s)")
 		metricAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty disables)")
 		pprofOn    = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics address")
+		journal    = flag.String("journal", "", "crash-safe run journal path (commit every chunk verdict)")
+		resume     = flag.Bool("resume", false, "resume from an existing -journal, skipping committed chunks")
+		chunkTO    = flag.Duration("chunk-timeout", 0, "per-chunk wall-clock budget on workers (0: unbounded)")
+		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-chunk solver conflict budget on workers (0: unbounded)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -92,7 +97,11 @@ func main() {
 		fmt.Printf("coordinator: metrics on http://%s/metrics\n", *metricAddr)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM behaves like SIGINT: cancel the run and let committed
+	// journal records carry the progress into the next -resume run. Even
+	// an outright SIGKILL loses only uncommitted chunks — every verdict
+	// is fsynced to -journal before it is acknowledged.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := distrib.Coordinate(ctx, ln, p, distrib.CoordinatorOptions{
 		Unwind:            *unwind,
@@ -104,6 +113,10 @@ func main() {
 		MaxAttempts:       *attempts,
 		HeartbeatInterval: *heartbeat,
 		DrainTimeout:      *drainTO,
+		ChunkTimeout:      *chunkTO,
+		ChunkConflicts:    *chunkConfl,
+		JournalPath:       *journal,
+		Resume:            *resume,
 		Metrics:           metrics,
 		Health:            health,
 	})
@@ -113,6 +126,12 @@ func main() {
 	}
 	fmt.Printf("verdict: %v (winner partition %d, %d jobs, %d reassigned, %v)\n",
 		res.Verdict, res.Winner, res.Jobs, res.Reassigned, res.Wall)
+	fmt.Printf("coverage: %d/%d chunks decided, %d resumed from journal\n",
+		res.ChunksDecided, res.ChunksTotal, res.Resumed)
+	for _, ex := range res.Exhausted {
+		fmt.Printf("budget exhausted: partitions [%d,%d] gave up on %s\n",
+			ex.Chunk.From, ex.Chunk.To, ex.Cause)
+	}
 	fmt.Printf("remote search: %d decisions, %d conflicts, %d propagations, %d restarts, solve time %v\n",
 		res.RemoteStats.Decisions, res.RemoteStats.Conflicts, res.RemoteStats.Propagations,
 		res.RemoteStats.Restarts, time.Duration(res.SolveMillis)*time.Millisecond)

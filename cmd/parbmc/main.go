@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/cnf"
@@ -60,6 +61,10 @@ func main() {
 		stats      = flag.Bool("stats", false, "print per-phase timings and per-partition solver statistics")
 		traceOut   = flag.String("trace-out", "", "write pipeline phase spans as JSONL to this file")
 		pprofAddr  = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
+		journal    = flag.String("journal", "", "crash-safe run journal path (commit every partition verdict)")
+		resume     = flag.Bool("resume", false, "resume from an existing -journal, skipping committed partitions")
+		chunkTO    = flag.Duration("chunk-timeout", 0, "per-partition wall-clock budget (0: unbounded)")
+		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-partition solver conflict budget (0: unbounded)")
 	)
 	flag.Parse()
 
@@ -108,21 +113,28 @@ func main() {
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the polite kill) must behave like SIGINT: cancel the run so
+	// in-flight solving stops; committed journal records are already
+	// durable, so even SIGKILL loses only uncommitted work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	res, err := core.Verify(ctx, p, core.Options{
-		Unwind:       *unwind,
-		Contexts:     *contexts,
-		Rounds:       *rounds,
-		Width:        *width,
-		Cores:        *cores,
-		Partitions:   *partitions,
-		From:         *from,
-		To:           *to,
-		Preprocess:   *preprocess,
-		CertifyUnsat: *certify,
-		Tracer:       tracer,
+		Unwind:         *unwind,
+		Contexts:       *contexts,
+		Rounds:         *rounds,
+		Width:          *width,
+		Cores:          *cores,
+		Partitions:     *partitions,
+		From:           *from,
+		To:             *to,
+		Preprocess:     *preprocess,
+		CertifyUnsat:   *certify,
+		Tracer:         tracer,
+		JournalPath:    *journal,
+		Resume:         *resume,
+		ChunkTimeout:   *chunkTO,
+		ChunkConflicts: *chunkConfl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parbmc:", err)
@@ -141,6 +153,12 @@ func main() {
 		fmt.Printf("partitions: %d (winner: %d)\n", res.Partitions, res.Winner)
 		fmt.Printf("encode:     %v\n", res.EncodeTime)
 		fmt.Printf("solve:      %v\n", res.SolveTime)
+		if res.Resumed > 0 {
+			fmt.Printf("resumed:    %d partitions replayed from %s\n", res.Resumed, *journal)
+		}
+		if !res.Coverage.Complete() || res.Resumed > 0 || *chunkTO > 0 || *chunkConfl > 0 {
+			fmt.Printf("coverage:   %v\n", res.Coverage)
+		}
 		if *stats {
 			for _, ph := range res.Phases {
 				fmt.Printf("phase %-10s %v\n", ph.Name+":", ph.Duration)

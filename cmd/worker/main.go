@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/distrib"
@@ -58,7 +59,9 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM drains like SIGINT; the coordinator's heartbeat monitor
+	// requeues whatever job this worker abandons.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	jobs, err := distrib.Work(ctx, *connect, distrib.WorkerOptions{
 		Name:             *name,

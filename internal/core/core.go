@@ -12,12 +12,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bv"
 	"repro/internal/cnf"
 	"repro/internal/flatten"
 	"repro/internal/interp"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
@@ -100,6 +102,23 @@ type Options struct {
 	// through the elimination trail. This matches the paper's solver
 	// configuration ("MiniSat 2.2.1 with simplifier", Sect. 3.4).
 	Preprocess bool
+	// ChunkTimeout bounds each partition's wall-clock solving time. An
+	// expired partition degrades to Unknown with CauseTimeout in the
+	// coverage report instead of stalling the whole run (0 = unbounded).
+	ChunkTimeout time.Duration
+	// ChunkConflicts bounds each partition's conflict count, recorded as
+	// CauseConflictBudget on exhaustion (0 = unbounded). If
+	// Solver.MaxConflicts is also set, the smaller bound applies.
+	ChunkConflicts int64
+	// JournalPath, when non-empty, records the run manifest and every
+	// partition verdict in a crash-safe append-only journal at that path,
+	// so an interrupted run can be resumed without re-solving committed
+	// partitions. A pre-existing journal is refused unless Resume is set.
+	JournalPath string
+	// Resume permits JournalPath to name an existing journal: its
+	// manifest must match this run (program hash, bounds, partition
+	// count) or Verify fails with journal.ErrManifestMismatch.
+	Resume bool
 	// Tracer, when non-nil, emits one timed span per pipeline phase
 	// (unfold, flatten, encode, partition, preprocess, solve, validate)
 	// under a root "verify" span. Nil is the zero-overhead fast path.
@@ -149,6 +168,68 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// Coverage reports how much of the trace space a run actually decided:
+// partitions that hit a budget are listed under the budget they
+// exhausted, so an Unknown verdict names its cause instead of being
+// silent about which chunks gave up.
+type Coverage struct {
+	// Total is the number of partitions in the run.
+	Total int
+	// Decided is the number that reached a definite SAT/UNSAT verdict
+	// (including verdicts replayed from a resume journal).
+	Decided int
+	// Timeout, ConflictBudget and Cancelled list the partition indices
+	// that ended Unknown, keyed by why.
+	Timeout        []int
+	ConflictBudget []int
+	Cancelled      []int
+}
+
+// Complete reports whether every partition was decided.
+func (c Coverage) Complete() bool { return c.Decided == c.Total }
+
+func (c Coverage) String() string {
+	s := fmt.Sprintf("%d/%d partitions decided", c.Decided, c.Total)
+	if c.Complete() {
+		return s
+	}
+	if len(c.Timeout) > 0 {
+		s += fmt.Sprintf(", timeout: %v", c.Timeout)
+	}
+	if len(c.ConflictBudget) > 0 {
+		s += fmt.Sprintf(", conflict-budget: %v", c.ConflictBudget)
+	}
+	if len(c.Cancelled) > 0 {
+		s += fmt.Sprintf(", cancelled: %v", c.Cancelled)
+	}
+	return s
+}
+
+// buildCoverage classifies per-partition outcomes. A run decided by
+// preprocessing alone has no instances: the whole space is covered.
+func buildCoverage(total int, pres *parallel.Result) Coverage {
+	c := Coverage{Total: total}
+	if len(pres.Instances) == 0 {
+		if pres.Status != sat.Unknown {
+			c.Decided = total
+		}
+		return c
+	}
+	for _, inst := range pres.Instances {
+		switch {
+		case inst.Status != sat.Unknown:
+			c.Decided++
+		case inst.Cause == sat.CauseTimeout:
+			c.Timeout = append(c.Timeout, inst.Partition)
+		case inst.Cause == sat.CauseConflictBudget:
+			c.ConflictBudget = append(c.ConflictBudget, inst.Partition)
+		default:
+			c.Cancelled = append(c.Cancelled, inst.Partition)
+		}
+	}
+	return c
+}
+
 // Result reports the analysis outcome and its cost metrics, mirroring
 // the columns of Table 2 in the paper.
 type Result struct {
@@ -184,6 +265,12 @@ type Result struct {
 	// Certified reports that every UNSAT partition carried a checked
 	// refutation proof (CertifyUnsat only).
 	Certified bool
+	// Coverage classifies every partition outcome; on an Unknown verdict
+	// it names which partitions exhausted which budget.
+	Coverage Coverage
+	// Resumed is the number of partition verdicts replayed from the
+	// journal instead of re-solved (JournalPath with Resume).
+	Resumed int
 }
 
 // Verify runs the full pipeline on a checked program.
@@ -244,9 +331,36 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		preSpan.End(obs.KV("clauses_after", formula.NumClauses()))
 	}
 
+	// The journal opens only after partitioning, when the manifest's
+	// partition count is final. The manifest pins everything that changes
+	// the meaning of a partition index, so a resumed journal can never be
+	// replayed against a different run.
+	var jnl *journal.Journal
+	if opts.JournalPath != "" {
+		if !opts.Resume {
+			if _, serr := os.Stat(opts.JournalPath); serr == nil {
+				return nil, fmt.Errorf("core: journal %s already exists (pass Resume to continue it)", opts.JournalPath)
+			}
+		}
+		jnl, err = journal.Open(opts.JournalPath, journal.Manifest{
+			ProgramSHA256: journal.HashProgram(prog.Format(p)),
+			Unwind:        opts.Unwind,
+			Contexts:      opts.Contexts,
+			Rounds:        opts.Rounds,
+			Width:         opts.Width,
+			Partitions:    len(parts),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+	}
+
 	popts := parallel.Options{
 		Workers: opts.Cores, Solver: opts.Solver, CertifyUnsat: opts.CertifyUnsat,
 		Progress: opts.Progress, ProgressEvery: opts.ProgressEvery,
+		ChunkTimeout: opts.ChunkTimeout, ChunkConflicts: opts.ChunkConflicts,
+		Journal: jnl,
 	}
 	solveSpan := opts.phase("solve",
 		obs.KV("partitions", len(parts)), obs.KV("workers", opts.Cores),
@@ -306,6 +420,8 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		EncodeTime:  encodeTime,
 		SolveTime:   pres.Wall,
 		Instances:   pres.Instances,
+		Coverage:    buildCoverage(len(parts), pres),
+		Resumed:     pres.Resumed,
 	}
 	switch pres.Status {
 	case sat.Sat:

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sat"
@@ -44,6 +46,23 @@ type CoordinatorOptions struct {
 	// giving up with Unknown; reconnecting workers must come back within
 	// this window (default 30s).
 	DrainTimeout time.Duration
+	// ChunkTimeout bounds each partition's wall-clock solving time on the
+	// worker; an expired chunk comes back as a terminal budgeted Unknown
+	// instead of burning JobTimeout and an attempt (0 = unbounded).
+	ChunkTimeout time.Duration
+	// ChunkConflicts bounds each partition's solver conflicts on the
+	// worker (0 = unbounded).
+	ChunkConflicts int64
+	// JournalPath, when non-empty, records the run manifest and every
+	// chunk verdict in a crash-safe journal, committed before the chunk
+	// is acknowledged, so a killed coordinator can be restarted without
+	// re-solving finished chunks. A pre-existing journal is refused
+	// unless Resume is set.
+	JournalPath string
+	// Resume permits JournalPath to name an existing journal; its
+	// manifest (program hash, bounds, partitioning) must match this run
+	// or Coordinate fails with journal.ErrManifestMismatch.
+	Resume bool
 	// Metrics, when non-nil, receives live chunk/worker gauges and
 	// aggregated remote solver counters, for scraping via /metrics
 	// during the run. Nil disables instrumentation at no cost.
@@ -77,6 +96,17 @@ type CoordinatorResult struct {
 	// Drained reports that the run ended because chunks were pending but
 	// no workers remained connected for DrainTimeout.
 	Drained bool
+	// Resumed counts chunks whose verdict was replayed from the journal
+	// instead of reassigned to a worker.
+	Resumed int
+	// Exhausted lists chunks that ended Unknown with a named budget
+	// (timeout or conflict budget). They are terminal — re-running under
+	// the same budgets gives up again — so they cap the verdict at
+	// Unknown without burning the retry budget.
+	Exhausted []ChunkExhausted
+	// ChunksTotal / ChunksDecided are the coverage counts: decided means
+	// a definite SAFE/UNSAFE verdict, journal replays included.
+	ChunksTotal, ChunksDecided int
 	// RemoteStats aggregates the search statistics of every remote job
 	// result (including retried attempts), so distributed runs report
 	// the same solver telemetry as local ones.
@@ -84,6 +114,12 @@ type CoordinatorResult struct {
 	// SolveMillis sums the remote per-job solver wall time — the total
 	// search effort spent across the cluster, as opposed to Wall.
 	SolveMillis int64
+}
+
+// ChunkExhausted names the budget a chunk gave up under.
+type ChunkExhausted struct {
+	Chunk partition.Chunk
+	Cause string // "timeout" | "conflict-budget"
 }
 
 // coordinator is the shared state of one Coordinate call.
@@ -98,12 +134,14 @@ type coordinator struct {
 	finished  bool
 	drain     *time.Timer
 	res       *CoordinatorResult
+	jerr      error // first journal commit failure: fails the whole run
 
 	pending chan partition.Chunk
 	done    chan struct{}
 	tracker *chunkTracker
 	health  *HealthRegistry
 	metrics *coordMetrics
+	jnl     *journal.Journal
 }
 
 // Coordinate serves the analysis of program p over the workers that
@@ -137,6 +175,36 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		opts.DrainTimeout = 30 * time.Second
 	}
 	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
+	source := prog.Format(p)
+
+	// The journal pins everything that gives a chunk's [From,To] range
+	// its meaning; a committed record replays only into the exact same
+	// run configuration.
+	var jnl *journal.Journal
+	committed := map[partition.Chunk]journal.ChunkRecord{}
+	if opts.JournalPath != "" {
+		if !opts.Resume {
+			if _, serr := os.Stat(opts.JournalPath); serr == nil {
+				return nil, fmt.Errorf("distrib: journal %s already exists (pass Resume to continue it)", opts.JournalPath)
+			}
+		}
+		var jerr error
+		jnl, jerr = journal.Open(opts.JournalPath, journal.Manifest{
+			ProgramSHA256: journal.HashProgram(source),
+			Unwind:        opts.Unwind,
+			Contexts:      opts.Contexts,
+			Width:         opts.Width,
+			Partitions:    opts.Partitions,
+			ChunkSize:     opts.ChunkSize,
+		})
+		if jerr != nil {
+			return nil, jerr
+		}
+		defer jnl.Close()
+		for _, rec := range jnl.Committed() {
+			committed[partition.Chunk{From: rec.From, To: rec.To}] = rec
+		}
+	}
 
 	health := opts.Health
 	if health == nil {
@@ -145,19 +213,51 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	start := time.Now()
 	co := &coordinator{
 		opts:      opts,
-		source:    prog.Format(p),
+		source:    source,
 		remaining: len(chunks),
-		res:       &CoordinatorResult{Verdict: core.Safe, Winner: -1},
+		res:       &CoordinatorResult{Verdict: core.Safe, Winner: -1, ChunksTotal: len(chunks)},
 		pending:   make(chan partition.Chunk, len(chunks)),
 		done:      make(chan struct{}),
 		tracker:   newChunkTracker(opts.MaxAttempts),
 		health:    health,
 		metrics:   newCoordMetrics(opts.Metrics),
+		jnl:       jnl,
 	}
 	co.metrics.chunksTotal.Set(int64(len(chunks)))
-	co.metrics.chunksRemaining.Set(int64(len(chunks)))
+
+	// Replay committed verdicts; only the rest is queued for workers.
+	// In-flight chunks were never committed, so a crash can lose work
+	// but never claim work it lost.
 	for _, ch := range chunks {
-		co.pending <- ch
+		rec, ok := committed[ch]
+		if !ok {
+			co.pending <- ch
+			continue
+		}
+		co.res.Resumed++
+		co.metrics.chunksResumed.Inc()
+		switch rec.Verdict {
+		case core.Unsafe.String():
+			co.res.Verdict = core.Unsafe
+			co.res.Winner = rec.Winner
+			co.res.ChunksDecided++
+			co.remaining--
+		case core.Safe.String():
+			co.res.ChunksDecided++
+			co.remaining--
+		default:
+			// A journaled Unknown is always budget-exhausted (in-flight
+			// chunks are never committed): terminal under the same budgets.
+			co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: ch, Cause: rec.Cause})
+			co.remaining--
+		}
+	}
+	co.metrics.chunksRemaining.Set(int64(co.remaining))
+	if co.res.Verdict == core.Unsafe || co.remaining == 0 {
+		// The journal already decides the run: nothing to hand out.
+		co.mu.Lock()
+		co.finishLocked()
+		co.mu.Unlock()
 	}
 
 	// Stop accepting when finished or cancelled.
@@ -191,15 +291,41 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		co.drain.Stop()
 	}
 	res := co.res
+	jerr := co.jerr
 	res.Quarantined = co.tracker.failureLog()
 	res.Attempts = co.tracker.attempts()
 	res.Workers = co.health.Snapshot()
-	if res.Verdict == core.Safe && (co.remaining > 0 || len(res.Quarantined) > 0) {
+	if res.Verdict == core.Safe && (co.remaining > 0 || len(res.Quarantined) > 0 || len(res.Exhausted) > 0) {
 		res.Verdict = core.Unknown
 	}
 	co.mu.Unlock()
 	res.Wall = time.Since(start)
+	if jerr != nil {
+		// A verdict the journal could not make durable must not be
+		// acknowledged: a resume would re-derive a different history.
+		return nil, fmt.Errorf("distrib: journal commit failed: %w", jerr)
+	}
 	return res, nil
+}
+
+// commitChunk durably records one chunk verdict before it is
+// acknowledged to the run state. A commit failure ends the run: better
+// to stop than to hand out verdicts a resume cannot reproduce.
+func (co *coordinator) commitChunk(rec journal.ChunkRecord) bool {
+	if co.jnl == nil {
+		return true
+	}
+	if err := co.jnl.Commit(rec); err != nil {
+		co.mu.Lock()
+		if co.jerr == nil {
+			co.jerr = err
+		}
+		co.finishLocked()
+		co.mu.Unlock()
+		return false
+	}
+	co.metrics.journalCommits.Inc()
+	return true
 }
 
 // finishLocked ends the run; callers hold co.mu.
@@ -279,7 +405,9 @@ func (co *coordinator) serve(c net.Conn) {
 			Type: "job", JobID: id, Source: co.source,
 			Unwind: co.opts.Unwind, Contexts: co.opts.Contexts, Width: co.opts.Width,
 			Partitions: co.opts.Partitions, From: chunk.From, To: chunk.To,
-			HeartbeatMillis: hbMillis,
+			HeartbeatMillis:    hbMillis,
+			ChunkTimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
+			ChunkConflicts:     co.opts.ChunkConflicts,
 		}
 		if err := wc.send(job); err != nil {
 			co.failChunk(chunk, key, fmt.Sprintf("send job %d to %s: %v", id, key, err))
@@ -295,8 +423,17 @@ func (co *coordinator) serve(c net.Conn) {
 		co.recordRemoteStats(reply)
 		switch reply.Verdict {
 		case core.Unsafe.String():
+			// Commit before acknowledging: a crash after this point
+			// replays straight to the counterexample.
+			if !co.commitChunk(journal.ChunkRecord{
+				From: chunk.From, To: chunk.To,
+				Verdict: core.Unsafe.String(), Winner: reply.Winner, Millis: reply.Millis,
+			}) {
+				return
+			}
 			co.mu.Lock()
 			co.res.Jobs++
+			co.res.ChunksDecided++
 			co.res.Verdict = core.Unsafe
 			co.res.Winner = reply.Winner
 			co.finishLocked()
@@ -304,8 +441,15 @@ func (co *coordinator) serve(c net.Conn) {
 			_ = wc.send(&Message{Type: "stop"})
 			return
 		case core.Safe.String():
+			if !co.commitChunk(journal.ChunkRecord{
+				From: chunk.From, To: chunk.To,
+				Verdict: core.Safe.String(), Winner: -1, Millis: reply.Millis,
+			}) {
+				return
+			}
 			co.mu.Lock()
 			co.res.Jobs++
+			co.res.ChunksDecided++
 			co.remaining--
 			co.metrics.chunksRemaining.Set(int64(co.remaining))
 			fin := co.remaining == 0
@@ -318,8 +462,36 @@ func (co *coordinator) serve(c net.Conn) {
 				return
 			}
 		default:
-			// Unknown (e.g. worker-side cancellation): a failed attempt,
-			// but the connection stays usable.
+			if sat.ParseStopCause(reply.Cause).Budgeted() {
+				// A budgeted Unknown is deterministic: the same chunk under
+				// the same budgets gives up again. Terminal, journaled, and
+				// not charged to the retry budget.
+				if !co.commitChunk(journal.ChunkRecord{
+					From: chunk.From, To: chunk.To,
+					Verdict: core.Unknown.String(), Winner: -1,
+					Cause: reply.Cause, Millis: reply.Millis,
+				}) {
+					return
+				}
+				co.metrics.budgetExhausted.Inc()
+				co.mu.Lock()
+				co.res.Jobs++
+				co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: chunk, Cause: reply.Cause})
+				co.remaining--
+				co.metrics.chunksRemaining.Set(int64(co.remaining))
+				fin := co.remaining == 0
+				if fin {
+					co.finishLocked()
+				}
+				co.mu.Unlock()
+				if fin {
+					_ = wc.send(&Message{Type: "stop"})
+					return
+				}
+				continue
+			}
+			// Retryable Unknown (e.g. worker-side cancellation): a failed
+			// attempt, but the connection stays usable.
 			co.requeueOrQuarantine(chunk, key,
 				fmt.Sprintf("job %d on %s: verdict %s", id, key, reply.Verdict))
 		}

@@ -19,6 +19,9 @@ type coordMetrics struct {
 	reassigned      *obs.Counter
 	quarantined     *obs.Counter
 	heartbeats      *obs.Counter
+	chunksResumed   *obs.Counter
+	budgetExhausted *obs.Counter
+	journalCommits  *obs.Counter
 
 	remoteDecisions    *obs.Counter
 	remoteConflicts    *obs.Counter
@@ -45,6 +48,12 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Chunks that exhausted their attempt budget."),
 		heartbeats: reg.Counter("parbmc_coordinator_heartbeats_total",
 			"Heartbeat messages received from workers."),
+		chunksResumed: reg.Counter("parbmc_coordinator_chunks_resumed_total",
+			"Chunk verdicts replayed from the journal instead of re-solved."),
+		budgetExhausted: reg.Counter("parbmc_coordinator_budget_exhausted_total",
+			"Chunks that ended Unknown with a named budget (terminal)."),
+		journalCommits: reg.Counter("parbmc_journal_commits_total",
+			"Chunk verdicts durably committed to the run journal."),
 		remoteDecisions: reg.Counter("parbmc_remote_decisions_total",
 			"Solver decisions aggregated from remote job results."),
 		remoteConflicts: reg.Counter("parbmc_remote_conflicts_total",

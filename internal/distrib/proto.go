@@ -2,9 +2,12 @@ package distrib
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -14,6 +17,13 @@ import (
 // maxFrameBytes caps one line-delimited frame so a misbehaving peer
 // cannot make the reader buffer an arbitrarily long line.
 const maxFrameBytes = 16 << 20 // 16 MiB
+
+// wireTable is the CRC32C (Castagnoli) polynomial used to checksum
+// every frame: 8 lowercase hex digits over the JSON payload, prefixed
+// to the line as "crc payload\n". TCP's own checksum is too weak to
+// catch in-flight corruption on long verification runs, and a corrupt
+// frame must be rejected before json.Unmarshal can misread it.
+var wireTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Message is the JSON wire format exchanged between coordinator and
 // workers, one message per line.
@@ -38,6 +48,11 @@ type Message struct {
 	From            int    `json:"from"`
 	To              int    `json:"to"`
 	HeartbeatMillis int64  `json:"hb_millis,omitempty"`
+	// ChunkTimeoutMillis / ChunkConflicts propagate the coordinator's
+	// per-chunk budgets to the worker's solver instances, so a poison
+	// chunk degrades to a budgeted Unknown instead of eating JobTimeout.
+	ChunkTimeoutMillis int64 `json:"chunk_timeout_millis,omitempty"`
+	ChunkConflicts     int64 `json:"chunk_conflicts,omitempty"`
 
 	// Result fields. SolveMillis is the solver's share of Millis, and
 	// Stats aggregates the job's per-partition search statistics, so
@@ -49,6 +64,11 @@ type Message struct {
 	SolveMillis int64      `json:"solve_millis,omitempty"`
 	Stats       *sat.Stats `json:"stats,omitempty"`
 	Error       string     `json:"error,omitempty"`
+	// Cause names the exhausted budget behind an UNKNOWN verdict
+	// ("timeout" or "conflict-budget"); empty for a retryable Unknown
+	// such as worker-side cancellation. A budgeted Unknown is terminal:
+	// re-running the same chunk under the same budgets gives up again.
+	Cause string `json:"cause,omitempty"`
 
 	// Heartbeat live-progress fields: cumulative conflicts and
 	// propagations across the job's solver instances so far, snapshotted
@@ -78,7 +98,11 @@ func (c *conn) send(m *Message) error {
 	if err != nil {
 		return err
 	}
-	return c.sendRaw(append(data, '\n'))
+	line := make([]byte, 0, len(data)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(data, wireTable))
+	line = append(line, data...)
+	line = append(line, '\n')
+	return c.sendRaw(line)
 }
 
 // sendRaw writes a pre-framed line verbatim. It exists so the fault
@@ -119,11 +143,32 @@ func (c *conn) recv(timeout time.Duration) (*Message, error) {
 			return nil, err
 		}
 	}
+	payload, err := verifyFrame(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		return nil, err
+	}
 	var m Message
-	if err := json.Unmarshal(line, &m); err != nil {
+	if err := json.Unmarshal(payload, &m); err != nil {
 		return nil, fmt.Errorf("distrib: malformed message: %w", err)
 	}
 	return &m, nil
+}
+
+// verifyFrame strips and checks the "crc " prefix, rejecting the frame
+// before any payload byte reaches the JSON decoder.
+func verifyFrame(line []byte) ([]byte, error) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, fmt.Errorf("distrib: frame missing checksum")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: frame missing checksum")
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, wireTable); got != uint32(want) {
+		return nil, fmt.Errorf("distrib: frame checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	return payload, nil
 }
 
 func (c *conn) close() { c.c.Close() }

@@ -1,0 +1,229 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/prog"
+)
+
+// The kill-and-resume scenario, in-process: the first coordinator loses
+// its only worker after two committed chunks and drains out; a second
+// coordinator resuming the same journal replays those two verdicts and
+// hands out only the remaining chunks. A third, with everything
+// committed, decides the run from the journal alone — no workers at all.
+func TestDistributedJournalResume(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	opts := fastFailureOpts(CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 1,
+		JournalPath: path,
+	})
+	opts.DrainTimeout = 200 * time.Millisecond
+
+	// Run 1: worker completes jobs 0 and 1, dies on job 2, never returns.
+	addr, resCh := startCoordinator(t, p, opts)
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{
+			Name: "mortal", Faults: DropAt(2),
+		})
+	}()
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Unknown || !res.Drained {
+		t.Fatalf("first run: verdict %v drained %v", res.Verdict, res.Drained)
+	}
+	if res.Jobs != 2 {
+		t.Fatalf("first run completed %d jobs, want 2", res.Jobs)
+	}
+	_, recs, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("journal holds %d records after the crash, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Verdict != core.Safe.String() {
+			t.Fatalf("record %+v, want SAFE", rec)
+		}
+	}
+
+	// Run 2: resume with a healthy worker. Only the two uncommitted
+	// chunks may be re-solved.
+	opts.Resume = true
+	addr, resCh = startCoordinator(t, p, opts)
+	workerJobs := make(chan int, 1)
+	go func() {
+		n, _ := Work(context.Background(), addr, WorkerOptions{Name: "healthy"})
+		workerJobs <- n
+	}()
+	res2 := waitResult(t, resCh)
+	if res2.Verdict != core.Safe {
+		t.Fatalf("resumed run: verdict %v", res2.Verdict)
+	}
+	if res2.Resumed != 2 {
+		t.Fatalf("resumed run replayed %d chunks, want 2", res2.Resumed)
+	}
+	if res2.Jobs != 2 {
+		t.Fatalf("resumed run solved %d jobs, want 2 (committed chunks re-solved?)", res2.Jobs)
+	}
+	if n := <-workerJobs; n != 2 {
+		t.Fatalf("worker ran %d jobs on resume, want 2", n)
+	}
+	if res2.ChunksTotal != 4 || res2.ChunksDecided != 4 {
+		t.Fatalf("coverage %d/%d, want 4/4", res2.ChunksDecided, res2.ChunksTotal)
+	}
+
+	// Run 3: the journal is complete; the verdict needs no workers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := Coordinate(context.Background(), ln, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Verdict != core.Safe || res3.Resumed != 4 || res3.Jobs != 0 {
+		t.Fatalf("journal-only run: verdict %v resumed %d jobs %d", res3.Verdict, res3.Resumed, res3.Jobs)
+	}
+}
+
+// An UNSAFE verdict is committed before the stop broadcast, so a resume
+// replays straight to the counterexample without re-solving anything.
+func TestDistributedJournalResumeUnsafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	opts := CoordinatorOptions{
+		Unwind: 1, Contexts: 4, Partitions: 8, ChunkSize: 2,
+		JournalPath: path,
+	}
+	addr, resCh := startCoordinator(t, p, opts)
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{Name: "w"})
+	}()
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Unsafe {
+		t.Fatalf("first run: verdict %v", res.Verdict)
+	}
+
+	opts.Resume = true
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Coordinate(context.Background(), ln, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != core.Unsafe || res2.Winner != res.Winner {
+		t.Fatalf("resumed run: verdict %v winner %d, want UNSAFE winner %d",
+			res2.Verdict, res2.Winner, res.Winner)
+	}
+	if res2.Jobs != 0 {
+		t.Fatalf("resumed run re-solved %d jobs", res2.Jobs)
+	}
+}
+
+// Reusing a journal path without Resume, or resuming under different
+// bounds, is refused before any worker sees a job.
+func TestDistributedJournalMismatchRejected(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	opts := CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 1,
+		JournalPath: path,
+	}
+	// Seed the journal with a complete healthy run.
+	addr, resCh := startCoordinator(t, p, opts)
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{Name: "w"})
+	}()
+	if res := waitResult(t, resCh); res.Verdict != core.Safe {
+		t.Fatalf("seed run: verdict %v", res.Verdict)
+	}
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if _, err := Coordinate(context.Background(), ln2, p, opts); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("err %v, want refusal without Resume", err)
+	}
+
+	mism := opts
+	mism.Resume = true
+	mism.Contexts = 4
+	if _, err := Coordinate(context.Background(), ln2, p, mism); !errors.Is(err, journal.ErrManifestMismatch) {
+		t.Fatalf("err %v, want ErrManifestMismatch", err)
+	}
+}
+
+// A poison chunk under a per-chunk conflict budget: the worker returns
+// a budgeted Unknown, the coordinator journals it and treats it as
+// terminal — no retry burn, verdict Unknown with the chunk and budget
+// named — and a resume replays the exhaustion instead of retrying it.
+func TestDistributedBudgetExhaustedChunks(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	// At unwind 2 / contexts 3, partitions 0 and 1 need real search and
+	// partitions 2 and 3 refute by propagation alone, so a 1-conflict
+	// budget exhausts exactly two of the four single-partition chunks.
+	opts := CoordinatorOptions{
+		Unwind: 2, Contexts: 3, Partitions: 4, ChunkSize: 1,
+		ChunkConflicts: 1, JournalPath: path,
+	}
+	addr, resCh := startCoordinator(t, p, opts)
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{Name: "w"})
+	}()
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Unknown {
+		t.Fatalf("verdict %v, want Unknown", res.Verdict)
+	}
+	if len(res.Exhausted) != 2 {
+		t.Fatalf("exhausted %+v, want 2 chunks", res.Exhausted)
+	}
+	for _, ex := range res.Exhausted {
+		if ex.Cause != "conflict-budget" {
+			t.Fatalf("chunk %v exhausted %q, want conflict-budget", ex.Chunk, ex.Cause)
+		}
+	}
+	if res.ChunksDecided != 2 || res.ChunksTotal != 4 {
+		t.Fatalf("coverage %d/%d, want 2/4", res.ChunksDecided, res.ChunksTotal)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("budget exhaustion burned the retry budget: %+v", res.Quarantined)
+	}
+	for ch, n := range res.Attempts {
+		if n != 1 {
+			t.Fatalf("chunk %v took %d attempts, want 1", ch, n)
+		}
+	}
+
+	// Resume: all four chunks (two SAFE, two exhausted) replay from the
+	// journal; the poison chunks are not retried.
+	opts.Resume = true
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Coordinate(context.Background(), ln, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != core.Unknown || res2.Resumed != 4 || res2.Jobs != 0 {
+		t.Fatalf("resumed run: verdict %v resumed %d jobs %d", res2.Verdict, res2.Resumed, res2.Jobs)
+	}
+	if len(res2.Exhausted) != 2 {
+		t.Fatalf("resumed exhausted %+v, want 2 chunks", res2.Exhausted)
+	}
+}

@@ -269,13 +269,15 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *
 		return reply
 	}
 	opts := core.Options{
-		Unwind:     m.Unwind,
-		Contexts:   m.Contexts,
-		Width:      m.Width,
-		Cores:      cores,
-		Partitions: m.Partitions,
-		From:       m.From,
-		To:         m.To + 1,
+		Unwind:         m.Unwind,
+		Contexts:       m.Contexts,
+		Width:          m.Width,
+		Cores:          cores,
+		Partitions:     m.Partitions,
+		From:           m.From,
+		To:             m.To + 1,
+		ChunkTimeout:   time.Duration(m.ChunkTimeoutMillis) * time.Millisecond,
+		ChunkConflicts: m.ChunkConflicts,
 	}
 	if progress != nil {
 		opts.Progress = progress.update
@@ -290,6 +292,18 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *
 	}
 	reply.Verdict = res.Verdict.String()
 	reply.SolveMillis = res.SolveTime.Milliseconds()
+	if res.Verdict == core.Unknown {
+		// Name the dominant exhausted budget so the coordinator can tell
+		// a terminal budgeted Unknown (re-running gives up again) from a
+		// retryable one (cancellation mid-flight). Timeout dominates: a
+		// run that hit the wall clock anywhere is wall-clock bound.
+		switch {
+		case len(res.Coverage.Timeout) > 0:
+			reply.Cause = sat.CauseTimeout.String()
+		case len(res.Coverage.ConflictBudget) > 0:
+			reply.Cause = sat.CauseConflictBudget.String()
+		}
+	}
 	// Aggregate the per-partition search statistics so the coordinator
 	// sees the remote search effort (load skew, conflict rates) instead
 	// of the stats dying with the worker process.

@@ -1,0 +1,367 @@
+// Package journal implements a crash-safe run journal for long
+// verification runs: an append-only, fsync-on-commit write-ahead log
+// that records the run manifest (program hash, bounds, partitioning)
+// followed by one record per chunk verdict. A restarted run with the
+// same manifest skips the committed chunks and re-solves only the rest;
+// a run with a different manifest is refused rather than silently mixed.
+//
+// # File format
+//
+// The file starts with an 8-byte magic ("PBMCWAL" plus a format version
+// byte), then a sequence of length-prefixed, checksummed records:
+//
+//	[4B little-endian payload length][4B little-endian CRC32C(payload)][payload]
+//
+// Each payload is one byte of record version, one byte of record type
+// (manifest or chunk), and a JSON body. The first record is always the
+// manifest. Commit appends one record and fsyncs before returning, so a
+// record is either durable or absent — a process killed mid-write leaves
+// at most one torn tail record, which Open detects (short frame or CRC
+// mismatch) and truncates away instead of trusting.
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// magic identifies a journal file; the trailing byte is the format
+// version, bumped on any incompatible layout change.
+var magic = [8]byte{'P', 'B', 'M', 'C', 'W', 'A', 'L', 1}
+
+const (
+	recVersion  = 1
+	recManifest = 1
+	recChunk    = 2
+
+	// maxRecordBytes bounds one record so a corrupt length prefix cannot
+	// make Open attempt an enormous allocation.
+	maxRecordBytes = 1 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (the same checksum SSE4.2
+// accelerates; Go's hash/crc32 uses the hardware instruction when
+// available).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrManifestMismatch is returned by Open when the existing journal was
+// written by a run with different parameters; resuming it would mix
+// verdicts computed under different bounds.
+var ErrManifestMismatch = errors.New("journal: manifest mismatch")
+
+// Manifest pins the parameters a journal's verdicts are valid under.
+// Two runs may share a journal only if every field is equal.
+type Manifest struct {
+	// ProgramSHA256 is the hex SHA-256 of the formatted program source
+	// (see HashProgram); any source change invalidates old verdicts.
+	ProgramSHA256 string `json:"program_sha256"`
+	// Unwind, Contexts, Rounds, Width are the analysis bounds.
+	Unwind   int `json:"unwind"`
+	Contexts int `json:"contexts"`
+	Rounds   int `json:"rounds,omitempty"`
+	Width    int `json:"width"`
+	// Partitions is the total trace-space partition count; ChunkSize is
+	// the partitions-per-work-unit grouping (0 for per-partition runs).
+	Partitions int `json:"partitions"`
+	ChunkSize  int `json:"chunk_size,omitempty"`
+}
+
+// HashProgram returns the hex SHA-256 of a program's formatted source.
+func HashProgram(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return fmt.Sprintf("%x", sum)
+}
+
+// ChunkRecord is one committed chunk verdict. From/To are inclusive
+// partition indices (From == To for per-partition local runs).
+type ChunkRecord struct {
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	Verdict string `json:"verdict"` // sat.Status string: "SAT" | "UNSAT" | "UNKNOWN"
+	// Winner is the partition holding the satisfying assignment
+	// (Verdict == "SAT"; -1 otherwise).
+	Winner int `json:"winner,omitempty"`
+	// Cause names the exhausted budget for an UNKNOWN verdict
+	// ("timeout" | "conflict-budget"); in-flight chunks are never
+	// committed, so a journaled UNKNOWN is always a budget verdict.
+	Cause string `json:"cause,omitempty"`
+	// Millis is the chunk's solve time, kept for resume diagnostics.
+	Millis int64 `json:"millis,omitempty"`
+}
+
+// Journal is an open run journal. All methods are safe for concurrent
+// use; Commit serialises appends internally.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	manifest  Manifest
+	committed []ChunkRecord
+	truncated int64 // torn-tail bytes dropped by Open (diagnostics)
+	closed    bool
+}
+
+// Open opens or creates the journal at path for the given manifest.
+//
+// A missing or empty file is initialised with the manifest record. An
+// existing file is replayed: the manifest record must equal m
+// (ErrManifestMismatch otherwise), well-formed chunk records become the
+// committed set, and a torn tail — a record cut short or failing its
+// CRC, as left by a crash mid-write — is truncated off the file so the
+// resumed run appends from the last durable record.
+func Open(path string, m Manifest) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, manifest: m}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if err := j.initNew(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Read replays the journal at path read-only, without manifest
+// validation: the stored manifest and committed records are returned
+// as-is (torn tails are skipped, not truncated). Intended for
+// inspection and tests.
+func Read(path string) (Manifest, []ChunkRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	defer f.Close()
+	m, recs, _, err := scan(f)
+	return m, recs, err
+}
+
+func (j *Journal) initNew() error {
+	if _, err := j.f.Write(magic[:]); err != nil {
+		return err
+	}
+	body, err := json.Marshal(j.manifest)
+	if err != nil {
+		return err
+	}
+	if err := j.appendRecord(recManifest, body); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// replay loads an existing file: manifest check, committed records,
+// torn-tail truncation.
+func (j *Journal) replay() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	m, recs, goodEnd, err := scan(j.f)
+	if err != nil {
+		return err
+	}
+	if m != j.manifest {
+		return fmt.Errorf("%w: journal %s was written for a different run (have %+v, want %+v)",
+			ErrManifestMismatch, j.path, m, j.manifest)
+	}
+	st, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() > goodEnd {
+		// Torn tail: a record the crashed writer never completed. It was
+		// never acknowledged, so dropping it loses nothing.
+		j.truncated = st.Size() - goodEnd
+		if err := j.f.Truncate(goodEnd); err != nil {
+			return err
+		}
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	j.committed = recs
+	_, err = j.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// scan reads magic, manifest, and chunk records from r, stopping at the
+// first torn or corrupt record. goodEnd is the offset just past the last
+// well-formed record.
+func scan(r io.Reader) (m Manifest, recs []ChunkRecord, goodEnd int64, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return m, nil, 0, fmt.Errorf("journal: not a journal file (short header): %w", err)
+	}
+	if hdr != magic {
+		return m, nil, 0, fmt.Errorf("journal: bad magic %q (format change or not a journal)", hdr[:])
+	}
+	goodEnd = int64(len(magic))
+	sawManifest := false
+	for {
+		typ, body, n, rerr := readRecord(r)
+		if rerr != nil {
+			// io.EOF is a clean end; anything else (short frame, CRC
+			// mismatch, oversized length) marks the torn tail.
+			break
+		}
+		switch typ {
+		case recManifest:
+			if sawManifest {
+				return m, nil, 0, fmt.Errorf("journal: duplicate manifest record")
+			}
+			if jerr := json.Unmarshal(body, &m); jerr != nil {
+				return m, nil, 0, fmt.Errorf("journal: manifest: %w", jerr)
+			}
+			sawManifest = true
+		case recChunk:
+			if !sawManifest {
+				return m, nil, 0, fmt.Errorf("journal: chunk record before manifest")
+			}
+			var rec ChunkRecord
+			if jerr := json.Unmarshal(body, &rec); jerr != nil {
+				return m, nil, 0, fmt.Errorf("journal: chunk record: %w", jerr)
+			}
+			recs = append(recs, rec)
+		default:
+			// Unknown record type from a newer minor version: skip but
+			// count it as well-formed (it passed its CRC).
+		}
+		goodEnd += int64(n)
+	}
+	if !sawManifest {
+		return m, nil, 0, fmt.Errorf("journal: no manifest record (file torn at birth)")
+	}
+	return m, recs, goodEnd, nil
+}
+
+// readRecord reads one framed record, returning its type, JSON body and
+// total on-disk size. Any framing violation is an error (the caller
+// treats it as the torn tail).
+func readRecord(r io.Reader) (typ byte, body []byte, size int, err error) {
+	var frame [8]byte
+	n, err := io.ReadFull(r, frame[:])
+	if err == io.EOF && n == 0 {
+		return 0, nil, 0, io.EOF
+	}
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("journal: torn frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length < 2 || length > maxRecordBytes {
+		return 0, nil, 0, fmt.Errorf("journal: implausible record length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("journal: torn payload: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return 0, nil, 0, fmt.Errorf("journal: record checksum mismatch")
+	}
+	if payload[0] != recVersion {
+		return 0, nil, 0, fmt.Errorf("journal: unsupported record version %d", payload[0])
+	}
+	return payload[1], payload[2:], 8 + int(length), nil
+}
+
+// appendRecord frames and writes one record; the caller syncs.
+func (j *Journal) appendRecord(typ byte, body []byte) error {
+	payload := make([]byte, 0, 2+len(body))
+	payload = append(payload, recVersion, typ)
+	payload = append(payload, body...)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := j.f.Write(frame[:]); err != nil {
+		return err
+	}
+	_, err := j.f.Write(payload)
+	return err
+}
+
+// Commit durably appends one chunk verdict: the record is written and
+// fsynced before Commit returns, so a verdict acknowledged to the rest
+// of the pipeline survives any subsequent crash.
+func (j *Journal) Commit(rec ChunkRecord) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: commit on closed journal")
+	}
+	if err := j.appendRecord(recChunk, body); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.committed = append(j.committed, rec)
+	return nil
+}
+
+// Committed returns the chunk verdicts durably recorded so far (loaded
+// ones first, then this process's commits, in order).
+func (j *Journal) Committed() []ChunkRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]ChunkRecord, len(j.committed))
+	copy(out, j.committed)
+	return out
+}
+
+// Commits returns the number of committed chunk records.
+func (j *Journal) Commits() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.committed)
+}
+
+// Manifest returns the manifest the journal was opened with.
+func (j *Journal) Manifest() Manifest { return j.manifest }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// TruncatedBytes reports how many torn-tail bytes Open dropped (0 for a
+// clean file) — surfaced so resumed runs can log that a crash was
+// detected and healed.
+func (j *Journal) TruncatedBytes() int64 { return j.truncated }
+
+// Close flushes and closes the file. Committed records are already
+// durable (Commit fsyncs), so Close after a signal is a formality — but
+// a cheap one, and it releases the descriptor.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,269 @@
+package parallel
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/journal"
+	"repro/internal/sat"
+)
+
+func openTestJournal(t *testing.T, path string, nparts int) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(path, journal.Manifest{
+		ProgramSHA256: journal.HashProgram("parallel-test"),
+		Unwind:        1, Contexts: 2, Width: 8, Partitions: nparts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// A deliberately hard chunk under a tiny conflict budget: every
+// instance must degrade to Unknown with the conflict budget named, and
+// the run must complete instead of grinding through PHP search.
+func TestChunkConflictBudgetExhausts(t *testing.T) {
+	f := pigeonhole(7)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	res, err := Solve(context.Background(), f, parts, Options{
+		Workers: 2, ChunkConflicts: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v, want Unknown", res.Status)
+	}
+	for _, inst := range res.Instances {
+		if inst.Status != sat.Unknown {
+			t.Fatalf("partition %d: status %v", inst.Partition, inst.Status)
+		}
+		if inst.Cause != sat.CauseConflictBudget {
+			t.Fatalf("partition %d: cause %v, want conflict-budget", inst.Partition, inst.Cause)
+		}
+	}
+}
+
+// A deliberately hard chunk under a small wall-clock budget: the run
+// completes within the budget (plus slack), reporting per-chunk Unknown
+// with the timeout named — the acceptance scenario for poison chunks.
+func TestChunkTimeoutExhausts(t *testing.T) {
+	f := pigeonhole(9) // far beyond a 30ms budget
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	start := time.Now()
+	res, err := Solve(context.Background(), f, parts, Options{
+		Workers: 2, ChunkTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run took %v: wall-clock budget did not bound the chunk", elapsed)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v, want Unknown", res.Status)
+	}
+	for _, inst := range res.Instances {
+		if inst.Cause != sat.CauseTimeout {
+			t.Fatalf("partition %d: cause %v, want timeout", inst.Partition, inst.Cause)
+		}
+	}
+}
+
+// Context cancellation must be distinguishable from budget exhaustion:
+// cancelled instances carry CauseCancelled, not a budget cause.
+func TestCancelledCauseDistinct(t *testing.T) {
+	f := pigeonhole(9)
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Solve(ctx, f, parts, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v, want Unknown", res.Status)
+	}
+	sawCancelled := false
+	for _, inst := range res.Instances {
+		if inst.Status != sat.Unknown {
+			continue
+		}
+		if inst.Cause.Budgeted() {
+			t.Fatalf("partition %d: cancellation misreported as %v", inst.Partition, inst.Cause)
+		}
+		if inst.Cause == sat.CauseCancelled {
+			sawCancelled = true
+		}
+	}
+	if !sawCancelled {
+		t.Fatal("no instance reported CauseCancelled after context cancellation")
+	}
+}
+
+// First run journals every UNSAT verdict; the resumed run replays them
+// without re-solving (zero search statistics, Resumed flags set).
+func TestJournalResumeSkipsCommitted(t *testing.T) {
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	j := openTestJournal(t, path, 4)
+	res, err := Solve(context.Background(), f, parts, Options{Workers: 4, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat || res.Resumed != 0 {
+		t.Fatalf("first run: status %v resumed %d", res.Status, res.Resumed)
+	}
+	if j.Commits() != 4 {
+		t.Fatalf("first run committed %d records, want 4", j.Commits())
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path, 4)
+	res2, err := Solve(context.Background(), f, parts, Options{Workers: 4, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != sat.Unsat {
+		t.Fatalf("resumed run: status %v", res2.Status)
+	}
+	if res2.Resumed != 4 {
+		t.Fatalf("resumed run replayed %d instances, want 4", res2.Resumed)
+	}
+	for _, inst := range res2.Instances {
+		if !inst.Resumed {
+			t.Fatalf("partition %d was re-solved on resume", inst.Partition)
+		}
+		if inst.Stats.Decisions != 0 || inst.Stats.Conflicts != 0 {
+			t.Fatalf("partition %d has search stats on resume: %+v", inst.Partition, inst.Stats)
+		}
+	}
+	if j2.Commits() != 4 {
+		t.Fatalf("resume re-committed: %d records", j2.Commits())
+	}
+}
+
+// A journaled SAT verdict resumes to Sat with a freshly derived model
+// (models are not journaled), preserving the winning partition.
+func TestJournalResumeSatPartition(t *testing.T) {
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1))       // forces partition 1 (v1 true)
+	f.AddClause(cnf.PosLit(2), cnf.PosLit(3))
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	j := openTestJournal(t, path, 2)
+	res, err := Solve(context.Background(), f, parts, Options{Workers: 1, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat || res.Winner != 1 {
+		t.Fatalf("first run: status %v winner %d", res.Status, res.Winner)
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path, 2)
+	res2, err := Solve(context.Background(), f, parts, Options{Workers: 1, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != sat.Sat || res2.Winner != 1 {
+		t.Fatalf("resumed run: status %v winner %d", res2.Status, res2.Winner)
+	}
+	if res2.Model == nil || !res2.Model[0] {
+		t.Fatalf("resumed run model %v, want v1 true", res2.Model)
+	}
+}
+
+// Budget-exhausted verdicts are journaled (they are deterministic under
+// the same budgets), cancelled ones are not (they are in-flight work a
+// resume must redo).
+func TestJournalCommitPolicy(t *testing.T) {
+	f := pigeonhole(7)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	j := openTestJournal(t, path, 4)
+	if _, err := Solve(context.Background(), f, parts, Options{
+		Workers: 2, ChunkConflicts: 5, Journal: j,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := j.Committed()
+	if len(recs) != 4 {
+		t.Fatalf("budget exhaustions committed %d records, want 4", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Verdict != "UNKNOWN" || rec.Cause != "conflict-budget" {
+			t.Fatalf("record %+v, want UNKNOWN/conflict-budget", rec)
+		}
+	}
+	j.Close()
+
+	// Cancelled instances: nothing further is committed.
+	path2 := filepath.Join(t.TempDir(), "run2.wal")
+	j2 := openTestJournal(t, path2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, pigeonhole(9), partitionsOn([]cnf.Var{1}, 2), Options{
+		Workers: 2, Journal: j2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Commits() != 0 {
+		t.Fatalf("cancelled run committed %d records, want 0", j2.Commits())
+	}
+}
+
+// Simulate honours the same budget/cause contract as Solve.
+func TestSimulateConflictBudget(t *testing.T) {
+	f := pigeonhole(7)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	res, err := Simulate(context.Background(), f, parts, Options{
+		Workers: 2, ChunkConflicts: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v, want Unknown", res.Status)
+	}
+	for _, inst := range res.Instances {
+		if inst.Cause != sat.CauseConflictBudget {
+			t.Fatalf("partition %d: cause %v", inst.Partition, inst.Cause)
+		}
+	}
+}
+
+// Simulate resumes from a journal written by Solve: the two paths share
+// one record format.
+func TestSimulateResumesFromSolveJournal(t *testing.T) {
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	j := openTestJournal(t, path, 4)
+	if _, err := Solve(context.Background(), f, parts, Options{Workers: 4, Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path, 4)
+	res, err := Simulate(context.Background(), f, parts, Options{Workers: 2, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat || res.Resumed != 4 {
+		t.Fatalf("simulate resume: status %v resumed %d", res.Status, res.Resumed)
+	}
+}

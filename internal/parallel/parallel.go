@@ -3,15 +3,27 @@
 // partition, no cooperation, first satisfiable assignment wins and
 // terminates the others; if every instance reports unsatisfiable, the
 // program is safe within the bounds.
+//
+// Two robustness layers ride on top of the paper's scheme:
+//
+//   - Per-chunk resource budgets (Options.ChunkTimeout, ChunkConflicts)
+//     bound every instance's wall clock and conflict count, so a poison
+//     partition degrades to Unknown — with the exhausted budget recorded
+//     in InstanceResult.Cause — instead of hanging the run.
+//   - A crash-safe journal (Options.Journal) commits every definite and
+//     budget-exhausted verdict; a restarted run with the same manifest
+//     skips committed partitions and re-solves only the rest.
 package parallel
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/journal"
 	"repro/internal/partition"
 	"repro/internal/sat"
 )
@@ -22,6 +34,13 @@ type InstanceResult struct {
 	Partition int
 	// Status is the instance verdict (Unknown if cancelled).
 	Status sat.Status
+	// Cause classifies an Unknown status: cancelled (context done or a
+	// sibling won), timeout (ChunkTimeout expired), or conflict-budget
+	// (ChunkConflicts exhausted). CauseNone for definite verdicts.
+	Cause sat.StopCause
+	// Resumed marks a verdict replayed from the journal rather than
+	// solved in this run.
+	Resumed bool
 	// Time is the instance's wall-clock solving time.
 	Time time.Duration
 	// Stats are the solver search statistics.
@@ -31,15 +50,17 @@ type InstanceResult struct {
 // Result is the aggregate outcome.
 type Result struct {
 	// Status is Sat if any partition is satisfiable, Unsat if all are
-	// unsatisfiable, Unknown if cancelled first.
+	// unsatisfiable, Unknown if cancelled or budget-exhausted first.
 	Status sat.Status
 	// Model is the satisfying assignment (Status == Sat).
 	Model []bool
 	// Winner is the partition index that found the model (-1 otherwise).
 	Winner int
-	// Instances holds the per-partition results that completed or were
-	// cancelled.
+	// Instances holds the per-partition results that completed, were
+	// cancelled, or were resumed from the journal.
 	Instances []InstanceResult
+	// Resumed counts instances replayed from the journal.
+	Resumed int
 	// Wall is the overall wall-clock time.
 	Wall time.Duration
 	// Certified reports that every UNSAT instance's refutation proof
@@ -62,6 +83,23 @@ type Options struct {
 	// verdicts are certified independently of the CDCL search — the
 	// counterpart of replay-validating counterexamples.
 	CertifyUnsat bool
+	// ChunkTimeout bounds each instance's wall-clock solving time; an
+	// expired instance is interrupted and reports Unknown with
+	// CauseTimeout (0 = unbounded).
+	ChunkTimeout time.Duration
+	// ChunkConflicts bounds each instance's conflict count; an exhausted
+	// instance reports Unknown with CauseConflictBudget (0 = unbounded).
+	// If Solver.MaxConflicts is also set, the smaller bound applies.
+	ChunkConflicts int64
+	// Journal, when non-nil, makes the run crash-safe: committed UNSAT
+	// and budget-Unknown verdicts are skipped on resume (their recorded
+	// outcome is replayed into Instances), every newly decided or
+	// budget-exhausted partition is durably committed before the run
+	// acknowledges it, and cancelled instances are left uncommitted so a
+	// restart re-solves them. SAT records are also replayed (the model
+	// is not journaled; core re-derives the trace by re-solving the
+	// winning partition when it needs one).
+	Journal *journal.Journal
 	// Progress, when non-nil and ProgressEvery > 0, receives live
 	// search statistics for a partition every ProgressEvery conflicts,
 	// invoked from that partition's solver goroutine (it must be
@@ -78,8 +116,64 @@ func (o *Options) instrument(solver *sat.Solver, part int) {
 	}
 }
 
+// solverOptions derives one instance's solver configuration, folding
+// the per-chunk conflict budget into MaxConflicts.
+func (o *Options) solverOptions(part int) sat.Options {
+	sOpts := o.Solver
+	if o.DiversifySeeds {
+		sOpts.Seed = uint64(part) + 1
+	}
+	if o.ChunkConflicts > 0 && (sOpts.MaxConflicts == 0 || sOpts.MaxConflicts > o.ChunkConflicts) {
+		sOpts.MaxConflicts = o.ChunkConflicts
+	}
+	sOpts.ProgressEvery = o.ProgressEvery
+	return sOpts
+}
+
+// committedRecords indexes the journal's committed set by partition for
+// per-partition (From == To) records.
+func committedRecords(j *journal.Journal) map[int]journal.ChunkRecord {
+	if j == nil {
+		return nil
+	}
+	out := make(map[int]journal.ChunkRecord)
+	for _, rec := range j.Committed() {
+		if rec.From == rec.To {
+			out[rec.From] = rec
+		}
+	}
+	return out
+}
+
+// commit journals one instance verdict. Definite verdicts and budget
+// exhaustions are durable; cancellations are deliberately not committed
+// (the partition is in-flight and must be requeued by a resume).
+func commit(j *journal.Journal, inst InstanceResult) error {
+	if j == nil || inst.Resumed {
+		return nil
+	}
+	if inst.Status == sat.Unknown && !inst.Cause.Budgeted() {
+		return nil
+	}
+	return j.Commit(journal.ChunkRecord{
+		From: inst.Partition, To: inst.Partition,
+		Verdict: inst.Status.String(),
+		Winner:  winnerOf(inst),
+		Cause:   inst.Cause.String(),
+		Millis:  inst.Time.Milliseconds(),
+	})
+}
+
+func winnerOf(inst InstanceResult) int {
+	if inst.Status == sat.Sat {
+		return inst.Partition
+	}
+	return -1
+}
+
 // Solve checks the formula under each partition's assumptions in
-// parallel. It honours ctx cancellation (returning Unknown).
+// parallel. It honours ctx cancellation (returning Unknown), per-chunk
+// budgets, and journal resume.
 func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opts Options) (*Result, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("parallel: no partitions")
@@ -100,6 +194,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 	solveCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	committed := committedRecords(opts.Journal)
+	var journalErr error
+
 	var live []*sat.Solver
 	certFailed := false
 	interruptAll := func() {
@@ -116,6 +213,39 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 
 	for _, pt := range parts {
 		pt := pt
+
+		// Resume path: replay the journaled verdict instead of solving.
+		if rec, ok := committed[pt.Index]; ok {
+			inst := InstanceResult{
+				Partition: pt.Index,
+				Status:    statusFromString(rec.Verdict),
+				Cause:     sat.ParseStopCause(rec.Cause),
+				Resumed:   true,
+				Time:      time.Duration(rec.Millis) * time.Millisecond,
+			}
+			res.Instances = append(res.Instances, inst)
+			res.Resumed++
+			switch inst.Status {
+			case sat.Sat:
+				// The journal stores no model; re-derive it now so the
+				// resumed run still produces a decodable counterexample.
+				if res.Status != sat.Sat {
+					solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
+					if st, err := solver.Solve(pt.Assumptions...); err == nil && st == sat.Sat {
+						res.Status = sat.Sat
+						res.Model = solver.Model()
+						res.Winner = pt.Index
+						cancel()
+					}
+				}
+			case sat.Unknown:
+				if res.Status == sat.Unsat {
+					res.Status = sat.Unknown
+				}
+			}
+			continue
+		}
+
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -125,7 +255,7 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			case <-solveCtx.Done():
 				mu.Lock()
 				res.Instances = append(res.Instances, InstanceResult{
-					Partition: pt.Index, Status: sat.Unknown,
+					Partition: pt.Index, Status: sat.Unknown, Cause: sat.CauseCancelled,
 				})
 				mu.Unlock()
 				return
@@ -133,18 +263,13 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			if solveCtx.Err() != nil {
 				mu.Lock()
 				res.Instances = append(res.Instances, InstanceResult{
-					Partition: pt.Index, Status: sat.Unknown,
+					Partition: pt.Index, Status: sat.Unknown, Cause: sat.CauseCancelled,
 				})
 				mu.Unlock()
 				return
 			}
 
-			sOpts := opts.Solver
-			if opts.DiversifySeeds {
-				sOpts.Seed = uint64(pt.Index) + 1
-			}
-			sOpts.ProgressEvery = opts.ProgressEvery
-			solver := sat.NewFromFormula(f, sOpts)
+			solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
 			opts.instrument(solver, pt.Index)
 			if opts.CertifyUnsat {
 				solver.EnableProof()
@@ -153,11 +278,32 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			live = append(live, solver)
 			mu.Unlock()
 
+			// Wall-clock budget: a timer interrupt distinguishable from
+			// cancellation by the timedOut flag.
+			var timedOut atomic.Bool
+			if opts.ChunkTimeout > 0 {
+				timer := time.AfterFunc(opts.ChunkTimeout, func() {
+					timedOut.Store(true)
+					solver.Interrupt()
+				})
+				defer timer.Stop()
+			}
+
 			t0 := time.Now()
 			status, err := solver.Solve(pt.Assumptions...)
 			elapsed := time.Since(t0)
+			cause := sat.CauseNone
 			if err == sat.ErrInterrupted {
 				status = sat.Unknown
+				if timedOut.Load() {
+					cause = sat.CauseTimeout
+				} else {
+					cause = sat.CauseCancelled
+				}
+			} else if status == sat.Unknown {
+				// The solver exhausts MaxConflicts without error: the
+				// conflict budget is the only path here.
+				cause = sat.CauseConflictBudget
 			}
 			if status == sat.Unsat && opts.CertifyUnsat {
 				if cerr := sat.CheckRUP(f, pt.Assumptions, solver.ProofLog()); cerr != nil {
@@ -167,13 +313,28 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 				}
 			}
 
-			mu.Lock()
-			res.Instances = append(res.Instances, InstanceResult{
+			inst := InstanceResult{
 				Partition: pt.Index,
 				Status:    status,
+				Cause:     cause,
 				Time:      elapsed,
 				Stats:     solver.Stats(),
-			})
+			}
+			// Commit before acknowledging the verdict in the shared
+			// result, so a crash after this point can only lose work the
+			// journal already holds — never claim work it lost.
+			if cerr := commit(opts.Journal, inst); cerr != nil {
+				mu.Lock()
+				if journalErr == nil {
+					journalErr = cerr
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+
+			mu.Lock()
+			res.Instances = append(res.Instances, inst)
 			if status == sat.Sat && res.Status != sat.Sat {
 				res.Status = sat.Sat
 				res.Model = solver.Model()
@@ -191,6 +352,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 	wg.Wait()
 	res.Wall = time.Since(start)
 	res.Certified = opts.CertifyUnsat && !certFailed
+	if journalErr != nil {
+		return nil, fmt.Errorf("parallel: journal commit failed: %w", journalErr)
+	}
 	if certFailed {
 		return nil, fmt.Errorf("parallel: an UNSAT refutation proof failed to check")
 	}
@@ -203,4 +367,15 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 		return res, nil
 	}
 	return res, nil
+}
+
+func statusFromString(s string) sat.Status {
+	switch s {
+	case sat.Sat.String():
+		return sat.Sat
+	case sat.Unsat.String():
+		return sat.Unsat
+	default:
+		return sat.Unknown
+	}
 }

@@ -3,6 +3,7 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
@@ -40,27 +41,64 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 	times := make([]time.Duration, len(parts))
 	statuses := make([]sat.Status, len(parts))
 	var winnerModel []bool
+	committed := committedRecords(opts.Journal)
+	anyUnknown := false
 
 	for i, pt := range parts {
 		if err := ctx.Err(); err != nil {
 			res.Status = sat.Unknown
 			return res, nil
 		}
-		sOpts := opts.Solver
-		if opts.DiversifySeeds {
-			sOpts.Seed = uint64(pt.Index) + 1
+
+		// Resume path: replay the journaled verdict with its recorded
+		// solve time, so the makespan simulation still covers the whole
+		// partition set.
+		if rec, ok := committed[pt.Index]; ok {
+			inst := InstanceResult{
+				Partition: pt.Index,
+				Status:    statusFromString(rec.Verdict),
+				Cause:     sat.ParseStopCause(rec.Cause),
+				Resumed:   true,
+				Time:      time.Duration(rec.Millis) * time.Millisecond,
+			}
+			times[i] = inst.Time
+			statuses[i] = inst.Status
+			res.Instances = append(res.Instances, inst)
+			res.Resumed++
+			if inst.Status == sat.Unknown {
+				anyUnknown = true
+			}
+			continue
 		}
-		sOpts.ProgressEvery = opts.ProgressEvery
-		solver := sat.NewFromFormula(f, sOpts)
+
+		solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
 		opts.instrument(solver, pt.Index)
 		if opts.CertifyUnsat {
 			solver.EnableProof()
 		}
+		var timedOut atomic.Bool
+		if opts.ChunkTimeout > 0 {
+			timer := time.AfterFunc(opts.ChunkTimeout, func() {
+				timedOut.Store(true)
+				solver.Interrupt()
+			})
+			defer timer.Stop()
+		}
 		t0 := time.Now()
 		status, err := solver.Solve(pt.Assumptions...)
 		times[i] = time.Since(t0)
-		if err != nil {
+		cause := sat.CauseNone
+		if err == sat.ErrInterrupted {
+			status = sat.Unknown
+			if timedOut.Load() {
+				cause = sat.CauseTimeout
+			} else {
+				cause = sat.CauseCancelled
+			}
+		} else if err != nil {
 			return nil, err
+		} else if status == sat.Unknown {
+			cause = sat.CauseConflictBudget
 		}
 		if status == sat.Unsat && opts.CertifyUnsat {
 			// Checked outside the timed window: a real deployment would
@@ -70,12 +108,20 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 			}
 		}
 		statuses[i] = status
-		res.Instances = append(res.Instances, InstanceResult{
+		if status == sat.Unknown {
+			anyUnknown = true
+		}
+		inst := InstanceResult{
 			Partition: pt.Index,
 			Status:    status,
+			Cause:     cause,
 			Time:      times[i],
 			Stats:     solver.Stats(),
-		})
+		}
+		if cerr := commit(opts.Journal, inst); cerr != nil {
+			return nil, fmt.Errorf("parallel: journal commit failed: %w", cerr)
+		}
+		res.Instances = append(res.Instances, inst)
 		if status == sat.Sat && winnerModel == nil {
 			winnerModel = solver.Model()
 		}
@@ -109,8 +155,9 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 		res.Status = sat.Sat
 		res.Winner = parts[bestIdx].Index
 		// Re-solve the winning partition for its model if it was not the
-		// first SAT instance encountered sequentially.
-		if parts[bestIdx].Index != firstSatIndex(parts, statuses) {
+		// first SAT instance encountered sequentially, or if the winner
+		// was resumed from the journal (no model is journaled).
+		if winnerModel == nil || parts[bestIdx].Index != firstSatIndex(parts, statuses) {
 			solver := sat.NewFromFormula(f, opts.Solver)
 			if st, err := solver.Solve(parts[bestIdx].Assumptions...); err == nil && st == sat.Sat {
 				winnerModel = solver.Model()
@@ -119,6 +166,11 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 		res.Model = winnerModel
 		res.Wall = bestSat
 		return res, nil
+	}
+	if anyUnknown {
+		// Budget-exhausted or cancelled partitions keep the aggregate
+		// from claiming Unsat over an incompletely explored space.
+		res.Status = sat.Unknown
 	}
 	for _, t := range procFree {
 		if t > res.Wall {

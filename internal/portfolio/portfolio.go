@@ -17,6 +17,7 @@ package portfolio
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
@@ -52,6 +53,16 @@ type Options struct {
 	// Solver is the base solver configuration; each instance derives a
 	// diversified variant from it.
 	Solver sat.Options
+	// InstanceTimeout bounds each instance's wall-clock solving time; an
+	// expired instance is interrupted and records CauseTimeout in
+	// Result.Causes (0 = unbounded). Because all instances race on the
+	// same formula, the portfolio verdict is Unknown only if every
+	// instance exhausts its budget or is cancelled.
+	InstanceTimeout time.Duration
+	// InstanceConflicts bounds each instance's conflict count, recorded
+	// as CauseConflictBudget (0 = unbounded). If Solver.MaxConflicts is
+	// also set, the smaller bound applies.
+	InstanceConflicts int64
 	// Progress, when non-nil and ProgressEvery > 0, receives live
 	// search statistics for an instance every ProgressEvery conflicts,
 	// invoked from that instance's solver goroutine.
@@ -75,6 +86,10 @@ type Result struct {
 	Shared int64
 	// Stats are the per-instance search statistics.
 	Stats []sat.Stats
+	// Causes classifies each instance's Unknown outcome (cancelled,
+	// timeout, conflict-budget; CauseNone for a definite verdict), so a
+	// fully Unknown portfolio run names the exhausted budget.
+	Causes []sat.StopCause
 }
 
 // pool is the lazy clause-exchange buffer: writers append, readers drain
@@ -146,7 +161,11 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	res := &Result{Status: sat.Unknown, Winner: -1, Stats: make([]sat.Stats, cores)}
+	res := &Result{
+		Status: sat.Unknown, Winner: -1,
+		Stats:  make([]sat.Stats, cores),
+		Causes: make([]sat.StopCause, cores),
+	}
 	sharedPool := &pool{}
 
 	var mu sync.Mutex
@@ -173,6 +192,10 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 			defer wg.Done()
 			sOpts := diversify(opts.Solver, i, opts.Style)
 			sOpts.ProgressEvery = opts.ProgressEvery
+			if opts.InstanceConflicts > 0 &&
+				(sOpts.MaxConflicts == 0 || sOpts.MaxConflicts > opts.InstanceConflicts) {
+				sOpts.MaxConflicts = opts.InstanceConflicts
+			}
 			s := sat.NewFromFormula(f, sOpts)
 			if opts.Progress != nil && opts.ProgressEvery > 0 {
 				s.Progress = func(st sat.Stats) { opts.Progress(i, st) }
@@ -191,12 +214,32 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 			solvers[i] = s
 			mu.Unlock()
 
+			// Wall-clock budget: a timer interrupt distinguishable from
+			// cancellation (sibling won, context done) by the flag.
+			var timedOut atomic.Bool
+			if opts.InstanceTimeout > 0 {
+				timer := time.AfterFunc(opts.InstanceTimeout, func() {
+					timedOut.Store(true)
+					s.Interrupt()
+				})
+				defer timer.Stop()
+			}
+
 			status, err := s.Solve()
+			cause := sat.CauseNone
 			if err == sat.ErrInterrupted {
 				status = sat.Unknown
+				if timedOut.Load() {
+					cause = sat.CauseTimeout
+				} else {
+					cause = sat.CauseCancelled
+				}
+			} else if status == sat.Unknown {
+				cause = sat.CauseConflictBudget
 			}
 			mu.Lock()
 			res.Stats[i] = s.Stats()
+			res.Causes[i] = cause
 			if status != sat.Unknown && res.Status == sat.Unknown {
 				res.Status = status
 				res.Winner = i

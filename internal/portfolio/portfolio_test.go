@@ -145,3 +145,69 @@ func TestStyleString(t *testing.T) {
 		t.Fatal("style strings")
 	}
 }
+
+// A hard formula under a tiny per-instance conflict budget: every
+// instance degrades to Unknown with the conflict budget named, and the
+// portfolio terminates instead of searching PHP to completion.
+func TestPortfolioInstanceConflictBudget(t *testing.T) {
+	res, err := Solve(context.Background(), pigeonhole(8), Options{
+		Cores: 3, InstanceConflicts: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v, want Unknown", res.Status)
+	}
+	for i, c := range res.Causes {
+		if c != sat.CauseConflictBudget {
+			t.Fatalf("instance %d: cause %v, want conflict-budget", i, c)
+		}
+	}
+}
+
+// A hard formula under a small wall-clock budget: the portfolio
+// completes within the budget plus slack, each instance naming the
+// timeout as the exhausted budget.
+func TestPortfolioInstanceTimeout(t *testing.T) {
+	start := time.Now()
+	res, err := Solve(context.Background(), pigeonhole(9), Options{
+		Cores: 2, InstanceTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run took %v: instance timeout did not bound the search", elapsed)
+	}
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v, want Unknown", res.Status)
+	}
+	for i, c := range res.Causes {
+		if c != sat.CauseTimeout {
+			t.Fatalf("instance %d: cause %v, want timeout", i, c)
+		}
+	}
+}
+
+// Losing instances interrupted because a sibling won must be classified
+// as cancelled, never as budget exhaustion.
+func TestPortfolioCancelledSiblingsClassified(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := randomFormula(rng, 60, 120) // satisfiable with high probability
+	res, err := Solve(context.Background(), f, Options{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat {
+		t.Skipf("formula not satisfiable under this seed: %v", res.Status)
+	}
+	if res.Causes[res.Winner] != sat.CauseNone {
+		t.Fatalf("winner cause %v, want none", res.Causes[res.Winner])
+	}
+	for i, c := range res.Causes {
+		if i != res.Winner && c.Budgeted() {
+			t.Fatalf("instance %d: loser misreported as %v", i, c)
+		}
+	}
+}

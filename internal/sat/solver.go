@@ -42,6 +42,62 @@ func (s Status) String() string {
 // ErrInterrupted is returned by Solve when the solver was cancelled.
 var ErrInterrupted = errors.New("sat: solver interrupted")
 
+// StopCause classifies why a solve ended Unknown, so callers can tell a
+// run that was cancelled (sibling found SAT, context done) from one
+// that exhausted a per-chunk resource budget. The layers above the
+// solver assign the cause: the solver itself only distinguishes
+// interruption (ErrInterrupted) from conflict-budget exhaustion
+// (Unknown with nil error under MaxConflicts).
+type StopCause int
+
+const (
+	// CauseNone: the solve reached a definite verdict.
+	CauseNone StopCause = iota
+	// CauseCancelled: interrupted by cancellation (context done, a
+	// sibling instance won, or an explicit Interrupt) — rerunning could
+	// still decide the chunk.
+	CauseCancelled
+	// CauseTimeout: the chunk's wall-clock budget expired.
+	CauseTimeout
+	// CauseConflictBudget: the chunk's conflict budget was exhausted.
+	CauseConflictBudget
+)
+
+func (c StopCause) String() string {
+	switch c {
+	case CauseCancelled:
+		return "cancelled"
+	case CauseTimeout:
+		return "timeout"
+	case CauseConflictBudget:
+		return "conflict-budget"
+	default:
+		return ""
+	}
+}
+
+// ParseStopCause inverts String; unrecognised input maps to CauseNone.
+func ParseStopCause(s string) StopCause {
+	switch s {
+	case "cancelled":
+		return CauseCancelled
+	case "timeout":
+		return CauseTimeout
+	case "conflict-budget":
+		return CauseConflictBudget
+	default:
+		return CauseNone
+	}
+}
+
+// Budgeted reports whether the cause is a deterministic budget
+// exhaustion (timeout or conflict budget) rather than cancellation —
+// the distinction between "this chunk is known-hard under the current
+// budgets" and "this chunk simply was not finished".
+func (c StopCause) Budgeted() bool {
+	return c == CauseTimeout || c == CauseConflictBudget
+}
+
 // Stats collects search statistics. The decision/depth/backjump counters
 // correspond to the quantities visualised in Figure 6 of the paper.
 type Stats struct {
@@ -246,6 +302,12 @@ func (s *Solver) Interrupt() { s.interrupt.Store(true) }
 
 // Interrupted reports whether the solver has been cancelled.
 func (s *Solver) Interrupted() bool { return s.interrupt.Load() }
+
+// ClearInterrupt re-arms the solver after an interrupt so it can be
+// solved again (MiniSat's clearInterrupt). It must not be called
+// concurrently with a Solve the caller still wants interrupted; the
+// usual sequence is Solve → ErrInterrupted → ClearInterrupt → Solve.
+func (s *Solver) ClearInterrupt() { s.interrupt.Store(false) }
 
 func (s *Solver) valueVar(v cnf.Var) int8 { return s.assigns[v-1] }
 
