@@ -308,7 +308,7 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 
 	partSpan := opts.phase("partition")
 	partStart := time.Now()
-	parts, err := MakePartitions(enc, opts)
+	parts, totalParts, err := MakePartitions(enc, opts)
 	if err != nil {
 		partSpan.End(obs.KV("error", err.Error()))
 		return nil, err
@@ -333,8 +333,14 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 
 	// The journal opens only after partitioning, when the manifest's
 	// partition count is final. The manifest pins everything that changes
-	// the meaning of a partition index, so a resumed journal can never be
-	// replayed against a different run.
+	// the meaning of a partition index — the *total* partitioning plus
+	// the [From, To) subrange actually analysed, not just how many
+	// partitions this run sees: 16 partitions sliced [0,8) and a plain
+	// 8-partition run both solve 8 chunks, but index i constrains
+	// different polarity bits in each, so they must never share a
+	// journal. Budgets are deliberately not pinned: they live on the
+	// individual budget-exhausted records, so a resume with raised
+	// budgets can re-solve exactly the chunks they starved.
 	var jnl *journal.Journal
 	if opts.JournalPath != "" {
 		if !opts.Resume {
@@ -342,13 +348,19 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 				return nil, fmt.Errorf("core: journal %s already exists (pass Resume to continue it)", opts.JournalPath)
 			}
 		}
+		jFrom, jTo := opts.From, opts.To
+		if jFrom == 0 && jTo == 0 {
+			jTo = totalParts // normalise: default means the full range
+		}
 		jnl, err = journal.Open(opts.JournalPath, journal.Manifest{
 			ProgramSHA256: journal.HashProgram(prog.Format(p)),
 			Unwind:        opts.Unwind,
 			Contexts:      opts.Contexts,
 			Rounds:        opts.Rounds,
 			Width:         opts.Width,
-			Partitions:    len(parts),
+			Partitions:    totalParts,
+			From:          jFrom,
+			To:            jTo,
 		})
 		if err != nil {
 			return nil, err
@@ -512,7 +524,10 @@ func EncodeProgram(p *prog.Program, opts Options) (*vc.Encoded, *flatten.Program
 
 // MakePartitions builds the partition list for the encoded formula,
 // applying the Partitions/Cores defaulting and the From/To subrange.
-func MakePartitions(enc *vc.Encoded, opts Options) ([]partition.Partition, error) {
+// total is the full partition count before the subrange slice — the
+// quantity that gives a partition index its meaning (and the one the
+// resume journal's manifest must pin).
+func MakePartitions(enc *vc.Encoded, opts Options) (parts []partition.Partition, total int, err error) {
 	opts.setDefaults()
 	nparts := opts.Partitions
 	if nparts == 0 {
@@ -524,17 +539,18 @@ func MakePartitions(enc *vc.Encoded, opts Options) ([]partition.Partition, error
 	if max := partition.MaxPartitions(enc); nparts > max {
 		nparts = max
 	}
-	parts, err := partition.Make(enc, nparts)
+	parts, err = partition.Make(enc, nparts)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	total = len(parts)
 	if opts.From != 0 || opts.To != 0 {
 		if opts.From < 0 || opts.From >= opts.To || opts.To > len(parts) {
-			return nil, fmt.Errorf("core: invalid partition range [%d,%d) of %d", opts.From, opts.To, len(parts))
+			return nil, 0, fmt.Errorf("core: invalid partition range [%d,%d) of %d", opts.From, opts.To, len(parts))
 		}
 		parts = parts[opts.From:opts.To]
 	}
-	return parts, nil
+	return parts, total, nil
 }
 
 // protectedLits collects every literal whose variable must survive

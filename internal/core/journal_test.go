@@ -76,8 +76,23 @@ func TestVerifyJournalResumeUnsafe(t *testing.T) {
 	if res2.Verdict != Unsafe {
 		t.Fatalf("resumed verdict %v", res2.Verdict)
 	}
-	if res2.Winner != res.Winner {
-		t.Fatalf("resumed winner %d, first run %d", res2.Winner, res.Winner)
+	// The resumed winner must carry a journaled SAT record. It need not
+	// equal the first run's reported winner: several partitions can hold
+	// counterexamples, and more than one may have committed SAT before
+	// the first run's stop landed — any of them is a valid winner, and
+	// replay deterministically picks the lowest-indexed one.
+	_, recs, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winnerJournaled := false
+	for _, rec := range recs {
+		if rec.Verdict == "SAT" && rec.From == res2.Winner {
+			winnerJournaled = true
+		}
+	}
+	if !winnerJournaled {
+		t.Fatalf("resumed winner %d has no journaled SAT record (records %+v)", res2.Winner, recs)
 	}
 	if res2.Trace == nil || res2.Violation == nil {
 		t.Fatal("resumed counterexample not decoded/validated")
@@ -167,5 +182,59 @@ func TestCoverageString(t *testing.T) {
 	}
 	if !full.Complete() || c.Complete() {
 		t.Fatal("Complete() classification")
+	}
+}
+
+// The manifest pins the total partitioning plus the analysed subrange,
+// not just the number of partitions this run happens to see: 16
+// partitions sliced [0,8) and a plain 8-partition run both solve 8
+// chunks, but partition index i constrains different polarity bits in
+// each, so their journals must never mix.
+func TestVerifyJournalSubrangePinned(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	sub := Options{
+		Unwind: 1, Contexts: 3, Cores: 2,
+		Partitions: 4, From: 0, To: 2, JournalPath: path,
+	}
+	res, err := Verify(context.Background(), p, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 2 {
+		t.Fatalf("subrange run analysed %d partitions, want 2", res.Partitions)
+	}
+	man, _, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Partitions != 4 || man.From != 0 || man.To != 2 {
+		t.Fatalf("manifest %+v, want total 4 range [0,2)", man)
+	}
+
+	// Same chunk count, different partitioning: refused.
+	whole := Options{
+		Unwind: 1, Contexts: 3, Cores: 2,
+		Partitions: 2, JournalPath: path, Resume: true,
+	}
+	if _, err := Verify(context.Background(), p, whole); !errors.Is(err, journal.ErrManifestMismatch) {
+		t.Fatalf("err %v, want ErrManifestMismatch for 2-partition run against [0,2)-of-4 journal", err)
+	}
+	// A different subrange of the same partitioning: refused.
+	other := sub
+	other.Resume = true
+	other.From, other.To = 2, 4
+	if _, err := Verify(context.Background(), p, other); !errors.Is(err, journal.ErrManifestMismatch) {
+		t.Fatalf("err %v, want ErrManifestMismatch for subrange [2,4)", err)
+	}
+	// The identical subrange resumes cleanly.
+	again := sub
+	again.Resume = true
+	res2, err := Verify(context.Background(), p, again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != 2 {
+		t.Fatalf("identical subrange resumed %d partitions, want 2", res2.Resumed)
 	}
 }

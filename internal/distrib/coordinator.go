@@ -195,6 +195,8 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 			Contexts:      opts.Contexts,
 			Width:         opts.Width,
 			Partitions:    opts.Partitions,
+			From:          0,
+			To:            opts.Partitions,
 			ChunkSize:     opts.ChunkSize,
 		})
 		if jerr != nil {
@@ -234,6 +236,14 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 			co.pending <- ch
 			continue
 		}
+		// A budget-exhausted verdict is terminal only relative to the
+		// budgets pinned on its record: a resume that lifted or raised
+		// the exhausted budget re-queues the chunk for workers instead of
+		// replaying a give-up the new flags were meant to overcome.
+		if rec.RetryUnder(opts.ChunkTimeout.Milliseconds(), opts.ChunkConflicts) {
+			co.pending <- ch
+			continue
+		}
 		co.res.Resumed++
 		co.metrics.chunksResumed.Inc()
 		switch rec.Verdict {
@@ -247,7 +257,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 			co.remaining--
 		default:
 			// A journaled Unknown is always budget-exhausted (in-flight
-			// chunks are never committed): terminal under the same budgets.
+			// chunks are never committed): terminal under these budgets.
 			co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: ch, Cause: rec.Cause})
 			co.remaining--
 		}
@@ -464,12 +474,16 @@ func (co *coordinator) serve(c net.Conn) {
 		default:
 			if sat.ParseStopCause(reply.Cause).Budgeted() {
 				// A budgeted Unknown is deterministic: the same chunk under
-				// the same budgets gives up again. Terminal, journaled, and
-				// not charged to the retry budget.
+				// the same budgets gives up again. Terminal, journaled with
+				// the budgets it gave up under (so a resume with raised
+				// budgets re-queues it), and not charged to the retry
+				// budget.
 				if !co.commitChunk(journal.ChunkRecord{
 					From: chunk.From, To: chunk.To,
 					Verdict: core.Unknown.String(), Winner: -1,
 					Cause: reply.Cause, Millis: reply.Millis,
+					TimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
+					Conflicts:     co.opts.ChunkConflicts,
 				}) {
 					return
 				}

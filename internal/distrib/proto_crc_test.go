@@ -49,8 +49,8 @@ func TestFrameChecksumRejectsCorruptPayload(t *testing.T) {
 // rejected with a distinct error.
 func TestFrameChecksumRejectsMissingPrefix(t *testing.T) {
 	for _, line := range []string{
-		`{"type":"hello"}` + "\n", // bare JSON, no checksum
-		"x\n",                     // too short to carry a checksum
+		`{"type":"hello"}` + "\n",          // bare JSON, no checksum
+		"x\n",                              // too short to carry a checksum
 		`zzzzzzzz {"type":"hello"}` + "\n", // prefix is not hex
 	} {
 		ca, cb := pipePair(t)

@@ -209,8 +209,9 @@ func TestDistributedBudgetExhaustedChunks(t *testing.T) {
 		}
 	}
 
-	// Resume: all four chunks (two SAFE, two exhausted) replay from the
-	// journal; the poison chunks are not retried.
+	// Resume under the same budget: all four chunks (two SAFE, two
+	// exhausted) replay from the journal; the poison chunks are not
+	// retried.
 	opts.Resume = true
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -225,5 +226,28 @@ func TestDistributedBudgetExhaustedChunks(t *testing.T) {
 	}
 	if len(res2.Exhausted) != 2 {
 		t.Fatalf("resumed exhausted %+v, want 2 chunks", res2.Exhausted)
+	}
+
+	// Resume with the conflict budget lifted: the journaled exhaustions
+	// are superseded — the two poison chunks are re-queued to a worker
+	// and decide, completing the run the old budget starved.
+	raised := opts
+	raised.ChunkConflicts = 0
+	addr, resCh = startCoordinator(t, p, raised)
+	go func() {
+		_, _ = Work(context.Background(), addr, WorkerOptions{Name: "w2"})
+	}()
+	res3 := waitResult(t, resCh)
+	if res3.Verdict != core.Safe {
+		t.Fatalf("lifted-budget resume: verdict %v, want SAFE", res3.Verdict)
+	}
+	if res3.Resumed != 2 || res3.Jobs != 2 {
+		t.Fatalf("lifted-budget resume: resumed %d jobs %d, want 2/2", res3.Resumed, res3.Jobs)
+	}
+	if len(res3.Exhausted) != 0 {
+		t.Fatalf("lifted-budget resume still exhausted: %+v", res3.Exhausted)
+	}
+	if res3.ChunksDecided != 4 || res3.ChunksTotal != 4 {
+		t.Fatalf("lifted-budget coverage %d/%d, want 4/4", res3.ChunksDecided, res3.ChunksTotal)
 	}
 }

@@ -67,10 +67,19 @@ type Manifest struct {
 	Contexts int `json:"contexts"`
 	Rounds   int `json:"rounds,omitempty"`
 	Width    int `json:"width"`
-	// Partitions is the total trace-space partition count; ChunkSize is
-	// the partitions-per-work-unit grouping (0 for per-partition runs).
+	// Partitions is the total trace-space partition count — the full
+	// partitioning, not the subset this run analyses: partition index i
+	// constrains polarity bits relative to the total, so two runs with
+	// equal subranges of different totals must never share a journal.
 	Partitions int `json:"partitions"`
-	ChunkSize  int `json:"chunk_size,omitempty"`
+	// From/To pin the half-open partition subrange [From, To) the run
+	// analyses (distributed mode). Writers normalise the full range to
+	// [0, Partitions) so an explicit full range and the default match.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// ChunkSize is the partitions-per-work-unit grouping (0 for
+	// per-partition runs).
+	ChunkSize int `json:"chunk_size,omitempty"`
 }
 
 // HashProgram returns the hex SHA-256 of a program's formatted source.
@@ -94,6 +103,29 @@ type ChunkRecord struct {
 	Cause string `json:"cause,omitempty"`
 	// Millis is the chunk's solve time, kept for resume diagnostics.
 	Millis int64 `json:"millis,omitempty"`
+	// TimeoutMillis and Conflicts pin the per-chunk budgets a
+	// budget-exhausted verdict was computed under (0 = unbounded /
+	// unrecorded). A budgeted UNKNOWN is terminal only relative to its
+	// budgets: a resume with strictly larger ones re-solves the chunk
+	// (see RetryUnder) instead of replaying a stale give-up.
+	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
+	Conflicts     int64 `json:"conflicts,omitempty"`
+}
+
+// RetryUnder reports whether a budget-exhausted record should be
+// re-solved rather than replayed under the given per-chunk budgets
+// (wall clock in milliseconds and conflict count, 0 = unbounded): true
+// when the budget the chunk exhausted has been lifted or strictly
+// raised. Definite verdicts and records without a recorded budget are
+// never retried — the latter cannot prove the new budget is larger.
+func (r ChunkRecord) RetryUnder(timeoutMillis, conflicts int64) bool {
+	switch r.Cause {
+	case "timeout": // sat.CauseTimeout.String()
+		return timeoutMillis == 0 || (r.TimeoutMillis > 0 && timeoutMillis > r.TimeoutMillis)
+	case "conflict-budget": // sat.CauseConflictBudget.String()
+		return conflicts == 0 || (r.Conflicts > 0 && conflicts > r.Conflicts)
+	}
+	return false
 }
 
 // Journal is an open run journal. All methods are safe for concurrent

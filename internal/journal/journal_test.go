@@ -224,3 +224,75 @@ func TestHashProgramStable(t *testing.T) {
 		t.Fatal("distinct sources hash equal")
 	}
 }
+
+// RetryUnder: a budget-exhausted record is terminal under budgets no
+// larger than the ones it pinned, and retryable when the exhausted
+// budget is lifted or strictly raised.
+func TestRetryUnder(t *testing.T) {
+	cases := []struct {
+		name          string
+		rec           ChunkRecord
+		timeoutMillis int64
+		conflicts     int64
+		want          bool
+	}{
+		{"definite verdicts never retry", ChunkRecord{Verdict: "UNSAT"}, 0, 0, false},
+		{"same timeout terminal", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 500, 0, false},
+		{"smaller timeout terminal", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 100, 0, false},
+		{"raised timeout retries", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 501, 0, true},
+		{"lifted timeout retries", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 0, 0, true},
+		{"unrecorded timeout budget terminal", ChunkRecord{Cause: "timeout"}, 900, 0, false},
+		{"unrecorded budget, lifted now, retries", ChunkRecord{Cause: "timeout"}, 0, 0, true},
+		{"same conflicts terminal", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 64, false},
+		{"raised conflicts retries", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 65, true},
+		{"lifted conflicts retries", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 0, true},
+		{"causes do not cross: timeout ignores conflicts", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 500, 1 << 30, false},
+	}
+	for _, c := range cases {
+		if got := c.rec.RetryUnder(c.timeoutMillis, c.conflicts); got != c.want {
+			t.Errorf("%s: RetryUnder(%d, %d) = %v, want %v", c.name, c.timeoutMillis, c.conflicts, got, c.want)
+		}
+	}
+}
+
+// The pinned budgets survive the commit/replay round trip.
+func TestBudgetFieldsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	j := mustOpen(t, path, testManifest())
+	rec := ChunkRecord{
+		From: 0, To: 1, Verdict: "UNKNOWN", Winner: -1,
+		Cause: "conflict-budget", Millis: 42, TimeoutMillis: 1000, Conflicts: 64,
+	}
+	if err := j.Commit(rec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != rec {
+		t.Fatalf("replayed %+v, want %+v", recs, rec)
+	}
+}
+
+// Manifests differing only in the partition subrange must not match:
+// index i means different polarity bits under different totals/ranges.
+func TestManifestSubrangeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	m := testManifest()
+	m.From, m.To = 0, 8
+	mustOpen(t, path, m).Close()
+
+	other := m
+	other.To = 16
+	if _, err := Open(path, other); !errors.Is(err, ErrManifestMismatch) {
+		t.Fatalf("err %v, want ErrManifestMismatch for a different subrange", err)
+	}
+	same := m
+	j, err := Open(path, same)
+	if err != nil {
+		t.Fatalf("identical subrange refused: %v", err)
+	}
+	j.Close()
+}

@@ -157,7 +157,7 @@ func TestJournalResumeSkipsCommitted(t *testing.T) {
 // (models are not journaled), preserving the winning partition.
 func TestJournalResumeSatPartition(t *testing.T) {
 	f := cnf.New()
-	f.AddClause(cnf.PosLit(1))       // forces partition 1 (v1 true)
+	f.AddClause(cnf.PosLit(1)) // forces partition 1 (v1 true)
 	f.AddClause(cnf.PosLit(2), cnf.PosLit(3))
 	parts := partitionsOn([]cnf.Var{1}, 2)
 	path := filepath.Join(t.TempDir(), "run.wal")
@@ -265,5 +265,165 @@ func TestSimulateResumesFromSolveJournal(t *testing.T) {
 	}
 	if res.Status != sat.Unsat || res.Resumed != 4 {
 		t.Fatalf("simulate resume: status %v resumed %d", res.Status, res.Resumed)
+	}
+}
+
+// Partial resume: committed records scattered among uncommitted
+// partitions — the normal post-crash shape. The replay happens before
+// any solver goroutine starts, so this is race-clean under -race, and
+// the uncommitted partitions are the only ones re-solved.
+func TestJournalPartialResumeScattered(t *testing.T) {
+	f := pigeonhole(5)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	// Hand-build a crash's journal: partitions 0 and 2 committed, 1 and
+	// 3 in-flight (absent).
+	j := openTestJournal(t, path, 4)
+	for _, idx := range []int{0, 2} {
+		if err := j.Commit(journal.ChunkRecord{
+			From: idx, To: idx, Verdict: "UNSAT", Winner: -1, Millis: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path, 4)
+	res, err := Solve(context.Background(), f, parts, Options{Workers: 2, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v, want Unsat", res.Status)
+	}
+	if res.Resumed != 2 {
+		t.Fatalf("resumed %d partitions, want 2", res.Resumed)
+	}
+	if len(res.Instances) != 4 {
+		t.Fatalf("%d instances, want 4", len(res.Instances))
+	}
+	for _, inst := range res.Instances {
+		replayed := inst.Partition == 0 || inst.Partition == 2
+		if inst.Resumed != replayed {
+			t.Fatalf("partition %d: Resumed = %v", inst.Partition, inst.Resumed)
+		}
+	}
+	if j2.Commits() != 4 {
+		t.Fatalf("journal holds %d records after resume, want 4", j2.Commits())
+	}
+}
+
+// A journaled SAT verdict that does not re-derive (journal and formula
+// disagree) must fail the run, not silently fall back to the UNSAT
+// default — that would be a safety inversion.
+func TestJournalSatRederiveMismatchFails(t *testing.T) {
+	f := cnf.New()
+	f.AddClause(cnf.PosLit(1)) // partition 0 (v1 false) is UNSAT
+	f.AddClause(cnf.PosLit(2), cnf.PosLit(3))
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	j := openTestJournal(t, path, 2)
+	if err := j.Commit(journal.ChunkRecord{From: 0, To: 0, Verdict: "SAT", Winner: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(context.Background(), f, parts, Options{Workers: 1, Journal: j}); err == nil {
+		t.Fatal("resume against a disagreeing SAT record succeeded")
+	}
+}
+
+// The model re-derivation for a journaled SAT verdict must not be cut
+// short by this run's budgets: a committed counterexample outranks a
+// smaller -chunk-conflicts on the resume command line.
+func TestRederiveOptionsUnbudgeted(t *testing.T) {
+	opts := Options{ChunkConflicts: 5, Solver: sat.Options{MaxConflicts: 9}}
+	if got := opts.solverOptions(0).MaxConflicts; got != 5 {
+		t.Fatalf("solverOptions folds to %d, want 5", got)
+	}
+	if got := opts.rederiveOptions(0).MaxConflicts; got != 0 {
+		t.Fatalf("rederiveOptions keeps conflict budget %d, want unbounded", got)
+	}
+}
+
+// A budget-exhausted verdict is terminal only under its own budgets:
+// replayed when resumed with the same budget, re-solved (to a definite
+// verdict) when the budget is lifted.
+func TestJournalBudgetRaiseResolves(t *testing.T) {
+	f := pigeonhole(7)
+	parts := partitionsOn([]cnf.Var{1, 2}, 4)
+	path := filepath.Join(t.TempDir(), "run.wal")
+
+	j := openTestJournal(t, path, 4)
+	if _, err := Solve(context.Background(), f, parts, Options{
+		Workers: 2, ChunkConflicts: 5, Journal: j,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Commits() != 4 {
+		t.Fatalf("first run committed %d records, want 4", j.Commits())
+	}
+	for _, rec := range j.Committed() {
+		if rec.Conflicts != 5 {
+			t.Fatalf("record %+v does not pin the conflict budget", rec)
+		}
+	}
+	j.Close()
+
+	// Same budget: the exhaustions replay, nothing is re-solved.
+	j2 := openTestJournal(t, path, 4)
+	res, err := Solve(context.Background(), f, parts, Options{
+		Workers: 2, ChunkConflicts: 5, Journal: j2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown || res.Resumed != 4 {
+		t.Fatalf("same-budget resume: status %v resumed %d, want Unknown/4", res.Status, res.Resumed)
+	}
+	j2.Close()
+
+	// Lifted budget: every exhausted partition is re-solved to UNSAT.
+	j3 := openTestJournal(t, path, 4)
+	res2, err := Solve(context.Background(), f, parts, Options{Workers: 2, Journal: j3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != sat.Unsat {
+		t.Fatalf("lifted-budget resume: status %v, want Unsat", res2.Status)
+	}
+	if res2.Resumed != 0 {
+		t.Fatalf("lifted-budget resume replayed %d stale exhaustions", res2.Resumed)
+	}
+	j3.Close()
+}
+
+// Cancellation with a wall-clock budget armed must still report
+// CauseCancelled and commit nothing: a cancelled partition is in-flight
+// work a resume re-solves, never a terminal timeout.
+func TestCancelWithTimerArmedStaysUncommitted(t *testing.T) {
+	f := pigeonhole(9)
+	parts := partitionsOn([]cnf.Var{1}, 2)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	j := openTestJournal(t, path, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Solve(ctx, f, parts, Options{
+		Workers: 2, ChunkTimeout: 10 * time.Minute, Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range res.Instances {
+		if inst.Cause == sat.CauseTimeout {
+			t.Fatalf("partition %d: cancellation misreported as timeout", inst.Partition)
+		}
+	}
+	if j.Commits() != 0 {
+		t.Fatalf("cancelled run committed %d records", j.Commits())
 	}
 }

@@ -96,9 +96,13 @@ type Options struct {
 	// outcome is replayed into Instances), every newly decided or
 	// budget-exhausted partition is durably committed before the run
 	// acknowledges it, and cancelled instances are left uncommitted so a
-	// restart re-solves them. SAT records are also replayed (the model
-	// is not journaled; core re-derives the trace by re-solving the
-	// winning partition when it needs one).
+	// restart re-solves them. A budget-Unknown record is replayed only
+	// under budgets no larger than the ones it pinned at commit time; a
+	// resume that raised the exhausted budget re-solves the partition.
+	// SAT records are replayed by re-solving the winning partition
+	// without budgets (the model is not journaled); a journaled SAT
+	// verdict that fails to re-derive fails the run rather than being
+	// silently demoted.
 	Journal *journal.Journal
 	// Progress, when non-nil and ProgressEvery > 0, receives live
 	// search statistics for a partition every ProgressEvery conflicts,
@@ -130,6 +134,29 @@ func (o *Options) solverOptions(part int) sat.Options {
 	return sOpts
 }
 
+// rederiveOptions is solverOptions without any conflict budget: the
+// journal's SAT verdict is already durable, so the re-solve that
+// recovers its model must not be cut short by this run's (possibly
+// smaller) budgets — a budget-starved re-solve would otherwise demote
+// a committed counterexample to Unknown.
+func (o *Options) rederiveOptions(part int) sat.Options {
+	sOpts := o.solverOptions(part)
+	sOpts.MaxConflicts = 0
+	return sOpts
+}
+
+// replayable reports whether a committed record still binds this run.
+// Definite verdicts always replay; a budget-exhausted Unknown is
+// terminal only under budgets no larger than the ones it gave up
+// under, so a run that raised the exhausted budget re-solves the
+// partition instead.
+func (o *Options) replayable(rec journal.ChunkRecord, part int) bool {
+	if statusFromString(rec.Verdict) != sat.Unknown {
+		return true
+	}
+	return !rec.RetryUnder(o.ChunkTimeout.Milliseconds(), o.solverOptions(part).MaxConflicts)
+}
+
 // committedRecords indexes the journal's committed set by partition for
 // per-partition (From == To) records.
 func committedRecords(j *journal.Journal) map[int]journal.ChunkRecord {
@@ -147,21 +174,28 @@ func committedRecords(j *journal.Journal) map[int]journal.ChunkRecord {
 
 // commit journals one instance verdict. Definite verdicts and budget
 // exhaustions are durable; cancellations are deliberately not committed
-// (the partition is in-flight and must be requeued by a resume).
-func commit(j *journal.Journal, inst InstanceResult) error {
-	if j == nil || inst.Resumed {
+// (the partition is in-flight and must be requeued by a resume). A
+// budget exhaustion pins the budgets it was computed under, so a resume
+// can tell whether its own budgets supersede the give-up.
+func (o *Options) commit(inst InstanceResult) error {
+	if o.Journal == nil || inst.Resumed {
 		return nil
 	}
 	if inst.Status == sat.Unknown && !inst.Cause.Budgeted() {
 		return nil
 	}
-	return j.Commit(journal.ChunkRecord{
+	rec := journal.ChunkRecord{
 		From: inst.Partition, To: inst.Partition,
 		Verdict: inst.Status.String(),
 		Winner:  winnerOf(inst),
 		Cause:   inst.Cause.String(),
 		Millis:  inst.Time.Milliseconds(),
-	})
+	}
+	if inst.Cause.Budgeted() {
+		rec.TimeoutMillis = o.ChunkTimeout.Milliseconds()
+		rec.Conflicts = o.solverOptions(inst.Partition).MaxConflicts
+	}
+	return o.Journal.Commit(rec)
 }
 
 func winnerOf(inst InstanceResult) int {
@@ -197,6 +231,65 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 	committed := committedRecords(opts.Journal)
 	var journalErr error
 
+	// Resume pass: replay every committed verdict before spawning any
+	// solver goroutine, so the shared Result is only ever touched
+	// single-threadedly here and under mu once solving starts. Records
+	// whose exhausted budget this run raises are dropped back into the
+	// to-solve set instead of replayed.
+	todo := make([]partition.Partition, 0, len(parts))
+	for _, pt := range parts {
+		rec, ok := committed[pt.Index]
+		if !ok || !opts.replayable(rec, pt.Index) {
+			todo = append(todo, pt)
+			continue
+		}
+		inst := InstanceResult{
+			Partition: pt.Index,
+			Status:    statusFromString(rec.Verdict),
+			Cause:     sat.ParseStopCause(rec.Cause),
+			Resumed:   true,
+			Time:      time.Duration(rec.Millis) * time.Millisecond,
+		}
+		res.Instances = append(res.Instances, inst)
+		res.Resumed++
+		switch inst.Status {
+		case sat.Sat:
+			// The journal stores no model; re-derive it now (without this
+			// run's budgets) so the resumed run still produces a decodable
+			// counterexample. A committed SAT verdict that does not
+			// re-derive means the journal and the formula disagree —
+			// refusing the run beats silently reporting UNSAT over a
+			// durably recorded counterexample.
+			if res.Status != sat.Sat {
+				solver := sat.NewFromFormula(f, opts.rederiveOptions(pt.Index))
+				st, serr := solver.Solve(pt.Assumptions...)
+				if serr != nil || st != sat.Sat {
+					return nil, fmt.Errorf("parallel: journaled SAT verdict for partition %d failed to re-derive (status %v, err %v); refusing to resume against a disagreeing journal", pt.Index, st, serr)
+				}
+				res.Status = sat.Sat
+				res.Model = solver.Model()
+				res.Winner = pt.Index
+			}
+		case sat.Unknown:
+			if res.Status == sat.Unsat {
+				res.Status = sat.Unknown
+			}
+		}
+	}
+
+	// A replayed SAT verdict decides the run: the remaining partitions
+	// are cancelled exactly as if a live sibling had won the race.
+	if res.Status == sat.Sat {
+		for _, pt := range todo {
+			res.Instances = append(res.Instances, InstanceResult{
+				Partition: pt.Index, Status: sat.Unknown, Cause: sat.CauseCancelled,
+			})
+		}
+		res.Wall = time.Since(start)
+		res.Certified = opts.CertifyUnsat
+		return res, nil
+	}
+
 	var live []*sat.Solver
 	certFailed := false
 	interruptAll := func() {
@@ -211,41 +304,8 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 		interruptAll()
 	}()
 
-	for _, pt := range parts {
+	for _, pt := range todo {
 		pt := pt
-
-		// Resume path: replay the journaled verdict instead of solving.
-		if rec, ok := committed[pt.Index]; ok {
-			inst := InstanceResult{
-				Partition: pt.Index,
-				Status:    statusFromString(rec.Verdict),
-				Cause:     sat.ParseStopCause(rec.Cause),
-				Resumed:   true,
-				Time:      time.Duration(rec.Millis) * time.Millisecond,
-			}
-			res.Instances = append(res.Instances, inst)
-			res.Resumed++
-			switch inst.Status {
-			case sat.Sat:
-				// The journal stores no model; re-derive it now so the
-				// resumed run still produces a decodable counterexample.
-				if res.Status != sat.Sat {
-					solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
-					if st, err := solver.Solve(pt.Assumptions...); err == nil && st == sat.Sat {
-						res.Status = sat.Sat
-						res.Model = solver.Model()
-						res.Winner = pt.Index
-						cancel()
-					}
-				}
-			case sat.Unknown:
-				if res.Status == sat.Unsat {
-					res.Status = sat.Unknown
-				}
-			}
-			continue
-		}
-
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -295,7 +355,13 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			cause := sat.CauseNone
 			if err == sat.ErrInterrupted {
 				status = sat.Unknown
-				if timedOut.Load() {
+				// The timer may fire while the solver is being interrupted
+				// for cancellation (sibling SAT win or signal); trusting
+				// timedOut alone would journal the cancelled instance as a
+				// terminal timeout and exclude a still-decidable partition
+				// from every future resume. When the races overlap,
+				// cancelled — the uncommitted verdict — wins.
+				if timedOut.Load() && solveCtx.Err() == nil {
 					cause = sat.CauseTimeout
 				} else {
 					cause = sat.CauseCancelled
@@ -323,7 +389,7 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			// Commit before acknowledging the verdict in the shared
 			// result, so a crash after this point can only lose work the
 			// journal already holds — never claim work it lost.
-			if cerr := commit(opts.Journal, inst); cerr != nil {
+			if cerr := opts.commit(inst); cerr != nil {
 				mu.Lock()
 				if journalErr == nil {
 					journalErr = cerr

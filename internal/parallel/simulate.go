@@ -52,8 +52,9 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 
 		// Resume path: replay the journaled verdict with its recorded
 		// solve time, so the makespan simulation still covers the whole
-		// partition set.
-		if rec, ok := committed[pt.Index]; ok {
+		// partition set. Budget-exhausted records superseded by larger
+		// budgets fall through and are re-solved.
+		if rec, ok := committed[pt.Index]; ok && opts.replayable(rec, pt.Index) {
 			inst := InstanceResult{
 				Partition: pt.Index,
 				Status:    statusFromString(rec.Verdict),
@@ -118,7 +119,7 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 			Time:      times[i],
 			Stats:     solver.Stats(),
 		}
-		if cerr := commit(opts.Journal, inst); cerr != nil {
+		if cerr := opts.commit(inst); cerr != nil {
 			return nil, fmt.Errorf("parallel: journal commit failed: %w", cerr)
 		}
 		res.Instances = append(res.Instances, inst)
@@ -156,12 +157,16 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 		res.Winner = parts[bestIdx].Index
 		// Re-solve the winning partition for its model if it was not the
 		// first SAT instance encountered sequentially, or if the winner
-		// was resumed from the journal (no model is journaled).
+		// was resumed from the journal (no model is journaled). The
+		// re-solve runs without budgets, and a SAT verdict that fails to
+		// re-derive is an inconsistency, not something to paper over.
 		if winnerModel == nil || parts[bestIdx].Index != firstSatIndex(parts, statuses) {
-			solver := sat.NewFromFormula(f, opts.Solver)
-			if st, err := solver.Solve(parts[bestIdx].Assumptions...); err == nil && st == sat.Sat {
-				winnerModel = solver.Model()
+			solver := sat.NewFromFormula(f, opts.rederiveOptions(parts[bestIdx].Index))
+			st, err := solver.Solve(parts[bestIdx].Assumptions...)
+			if err != nil || st != sat.Sat {
+				return nil, fmt.Errorf("parallel: SAT verdict for partition %d failed to re-derive its model (status %v, err %v)", parts[bestIdx].Index, st, err)
 			}
+			winnerModel = solver.Model()
 		}
 		res.Model = winnerModel
 		res.Wall = bestSat

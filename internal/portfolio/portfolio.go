@@ -229,7 +229,10 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 			cause := sat.CauseNone
 			if err == sat.ErrInterrupted {
 				status = sat.Unknown
-				if timedOut.Load() {
+				// As in parallel.Solve: when the timer races the
+				// cancellation interrupt, report cancelled — the verdict
+				// that does not claim a budget was genuinely exhausted.
+				if timedOut.Load() && solveCtx.Err() == nil {
 					cause = sat.CauseTimeout
 				} else {
 					cause = sat.CauseCancelled
