@@ -52,8 +52,14 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from an existing -journal, skipping committed chunks")
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-chunk wall-clock budget on workers (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-chunk solver conflict budget on workers (0: unbounded)")
+		certify    = flag.String("certify", "full", "remote verdict certification: full | sample=N | off")
 	)
 	flag.Parse()
+	certPolicy, err := distrib.ParseCertifyPolicy(*certify)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(2)
+	}
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "coordinator: -i is required")
 		os.Exit(2)
@@ -119,6 +125,7 @@ func main() {
 		Resume:            *resume,
 		Metrics:           metrics,
 		Health:            health,
+		Certify:           certPolicy,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -135,6 +142,10 @@ func main() {
 	fmt.Printf("remote search: %d decisions, %d conflicts, %d propagations, %d restarts, solve time %v\n",
 		res.RemoteStats.Decisions, res.RemoteStats.Conflicts, res.RemoteStats.Propagations,
 		res.RemoteStats.Restarts, time.Duration(res.SolveMillis)*time.Millisecond)
+	if certPolicy.Enabled() {
+		fmt.Printf("certification (%s): %d verdicts certified, %d certificates rejected, verify time %v\n",
+			certPolicy, res.Certified, res.CertRejected, time.Duration(res.CertifyMillis)*time.Millisecond)
+	}
 	if res.Drained {
 		fmt.Println("run drained: chunks were pending but no workers remained connected")
 	}
@@ -147,8 +158,12 @@ func main() {
 			q.Chunk.From, q.Chunk.To, q.Attempts, last)
 	}
 	for _, w := range res.Workers {
-		fmt.Printf("worker %s: %d jobs, %d failures, %d connections, last seen %s\n",
-			w.Name, w.Jobs, w.Failures, w.Connections, w.LastSeen.Format(time.TimeOnly))
+		trust := ""
+		if w.Untrusted {
+			trust = fmt.Sprintf(", UNTRUSTED (%d certificates rejected)", w.CertRejections)
+		}
+		fmt.Printf("worker %s: %d jobs, %d failures, %d connections, last seen %s%s\n",
+			w.Name, w.Jobs, w.Failures, w.Connections, w.LastSeen.Format(time.TimeOnly), trust)
 	}
 	if res.Verdict == core.Unsafe {
 		os.Exit(1)

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "run one experiment: table1|table2|table3|table4|fig6|fig7|ablations")
+		only  = flag.String("only", "", "run one experiment: table1|table2|table3|table4|fig6|fig7|certify|ablations")
 		full  = flag.Bool("full", false, "include the most expensive configurations")
 		cores = flag.String("cores", "1,2,4,8", "comma-separated core counts")
 		dot   = flag.String("dot", "", "directory for Graphviz decision graphs (fig6)")
@@ -79,6 +79,10 @@ func main() {
 	if run("fig7") {
 		_, err = experiments.Fig7(ctx, w, cfg)
 		check(err)
+		fmt.Fprintln(w)
+	}
+	if run("certify") {
+		check(experiments.CertifyOverhead(ctx, w))
 		fmt.Fprintln(w)
 	}
 	if run("ablations") {

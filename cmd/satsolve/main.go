@@ -22,6 +22,43 @@ import (
 	"repro/internal/sat"
 )
 
+// emitAndCheckProof serialises the refutation to DRAT text and, with
+// check, round-trips it through the parser and the RUP checker — so what
+// is verified is the emitted artifact, not the in-memory log it came
+// from.
+func emitAndCheckProof(formula *cnf.Formula, assumptions []cnf.Lit, proof *sat.Proof, path string, check bool) error {
+	var buf strings.Builder
+	if err := sat.WriteDRAT(&buf, proof); err != nil {
+		return err
+	}
+	text := buf.String()
+	if path != "" {
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("c proof written to %s (%d lemmas, %d literals)\n", path, proof.NumLemmas(), proof.NumLits())
+		if check {
+			// Verify the file actually written, not the buffer.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			text = string(data)
+		}
+	}
+	if check {
+		parsed, err := sat.ParseDRAT(strings.NewReader(text))
+		if err != nil {
+			return fmt.Errorf("proof re-parse failed: %w", err)
+		}
+		if err := sat.CheckRUP(formula, assumptions, parsed); err != nil {
+			return fmt.Errorf("proof check failed: %w", err)
+		}
+		fmt.Printf("c proof verified (%d lemmas, %d literals)\n", parsed.NumLemmas(), parsed.NumLits())
+	}
+	return nil
+}
+
 func main() {
 	var (
 		cores     = flag.Int("cores", 1, "parallel solver instances")
@@ -32,6 +69,8 @@ func main() {
 		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
 		progress  = flag.Int64("progress", 0, "print live search progress every N conflicts (0 disables)")
 		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
+		proofPath = flag.String("proof", "", "on UNSAT, write a DRAT-style refutation proof to this file (single-instance mode)")
+		check     = flag.Bool("check", false, "on UNSAT, re-parse the emitted proof and re-verify it by RUP checking (single-instance mode)")
 	)
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -75,7 +114,14 @@ func main() {
 			instance, st.Decisions, st.Conflicts, st.Propagations, st.Restarts)
 	}
 
+	wantProof := *proofPath != "" || *check
 	if *cores > 1 && len(assumptions) == 0 {
+		if wantProof {
+			// Portfolio instances exchange clauses, so no single instance's
+			// log is a self-contained refutation.
+			fmt.Fprintln(os.Stderr, "satsolve: -proof/-check require single-instance mode (-cores 1)")
+			os.Exit(2)
+		}
 		st := portfolio.StyleSharing
 		if *style == "diverse" {
 			st = portfolio.StyleDiverse
@@ -99,6 +145,9 @@ func main() {
 		if *progress > 0 {
 			s.Progress = func(st sat.Stats) { liveProgress(0, st) }
 		}
+		if wantProof {
+			s.EnableProof()
+		}
 		status, err = s.Solve(assumptions...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "satsolve:", err)
@@ -108,6 +157,12 @@ func main() {
 			model = s.Model()
 		}
 		searchStats = []sat.Stats{s.Stats()}
+		if status == sat.Unsat && wantProof {
+			if err := emitAndCheckProof(formula, assumptions, s.ProofLog(), *proofPath, *check); err != nil {
+				fmt.Fprintln(os.Stderr, "satsolve:", err)
+				os.Exit(2)
+			}
+		}
 	}
 
 	if *stats {

@@ -5,8 +5,11 @@
 // survives connection loss, redialing with exponential backoff + jitter.
 //
 // The -fault-* flags drive the deterministic fault-injection harness
-// (drop/stall/corrupt at a chosen job index) used to exercise the
-// coordinator's retry and quarantine paths.
+// used to exercise the coordinator's retry and quarantine paths:
+// transport faults (drop/stall/corrupt at a chosen job index), a solver
+// panic (-fault-panic), and Byzantine faults that lie about a computed
+// result (-fault-flip, -fault-bogus-model, -fault-truncate-proof,
+// -fault-oversize-proof) to exercise certificate rejection.
 //
 //	worker -connect host:9731 -cores 4 -reconnect 5
 package main
@@ -37,6 +40,11 @@ func main() {
 		corruptAt = flag.Int("fault-corrupt", -1, "send a corrupt frame in place of this job's result")
 		stallAt   = flag.Int("fault-stall", -1, "go silent (no heartbeats) before running this job")
 		stallFor  = flag.Duration("stall-for", 30*time.Second, "stall duration for -fault-stall")
+		panicAt   = flag.Int("fault-panic", -1, "panic inside the solver path at this job index")
+		flipAt    = flag.Int("fault-flip", -1, "flip this job's definite verdict (Byzantine)")
+		bogusAt   = flag.Int("fault-bogus-model", -1, "claim UNSAFE with a garbage model at this job index (Byzantine)")
+		truncAt   = flag.Int("fault-truncate-proof", -1, "send a truncated certificate for this job (Byzantine)")
+		oversizAt = flag.Int("fault-oversize-proof", -1, "declare an oversized certificate for this job (Byzantine)")
 	)
 	flag.Parse()
 
@@ -46,13 +54,28 @@ func main() {
 	}
 
 	var plan *distrib.FaultPlan
-	if *dropAt >= 0 || *corruptAt >= 0 || *stallAt >= 0 || *seed != 0 {
+	faultFlags := []struct {
+		at   int
+		kind distrib.FaultKind
+	}{
+		{*dropAt, distrib.FaultDrop},
+		{*corruptAt, distrib.FaultCorrupt},
+		{*panicAt, distrib.FaultPanic},
+		{*flipAt, distrib.FaultFlipVerdict},
+		{*bogusAt, distrib.FaultBogusModel},
+		{*truncAt, distrib.FaultTruncatedProof},
+		{*oversizAt, distrib.FaultOversizedProof},
+	}
+	anyFault := *stallAt >= 0 || *seed != 0
+	for _, ff := range faultFlags {
+		anyFault = anyFault || ff.at >= 0
+	}
+	if anyFault {
 		plan = &distrib.FaultPlan{Seed: *seed}
-		if *dropAt >= 0 {
-			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *dropAt, Kind: distrib.FaultDrop})
-		}
-		if *corruptAt >= 0 {
-			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *corruptAt, Kind: distrib.FaultCorrupt})
+		for _, ff := range faultFlags {
+			if ff.at >= 0 {
+				plan.Events = append(plan.Events, distrib.FaultEvent{Job: ff.at, Kind: ff.kind})
+			}
 		}
 		if *stallAt >= 0 {
 			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *stallAt, Kind: distrib.FaultStall, Stall: *stallFor})

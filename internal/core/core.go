@@ -95,6 +95,13 @@ type Options struct {
 	// search (with Preprocess, the certificate covers the simplified
 	// formula). The counterpart of counterexample replay validation.
 	CertifyUnsat bool
+	// KeepProofs records the refutation proof of every UNSAT partition
+	// and retains it on the corresponding Result.Instances entry instead
+	// of checking it locally. Distributed workers use this to attach
+	// certificates that the coordinator re-checks against its own
+	// encoding; incompatible with Preprocess, whose proofs would cover
+	// the simplified formula a remote checker does not have.
+	KeepProofs bool
 	// Preprocess runs the MiniSat-style simplifier (subsumption,
 	// self-subsuming resolution, bounded variable elimination) on the
 	// formula before partitioning, freezing every variable needed for
@@ -237,6 +244,11 @@ type Result struct {
 	Verdict Verdict
 	// Trace is the decoded counterexample (Verdict == Unsafe).
 	Trace *trace.Trace
+	// Model is the raw satisfying assignment Trace was decoded from
+	// (Verdict == Unsafe) — the SAT half of a verdict certificate: any
+	// party holding the same encoding can re-evaluate the formula and
+	// replay the decoded trace without trusting this run's solver.
+	Model []bool
 	// Violation is the replayed assertion failure (Verdict == Unsafe,
 	// validation enabled).
 	Violation *interp.Violation
@@ -368,9 +380,13 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		defer jnl.Close()
 	}
 
+	if opts.KeepProofs && opts.Preprocess {
+		return nil, fmt.Errorf("core: KeepProofs is incompatible with Preprocess (proofs would cover the simplified formula)")
+	}
 	popts := parallel.Options{
 		Workers: opts.Cores, Solver: opts.Solver, CertifyUnsat: opts.CertifyUnsat,
-		Progress: opts.Progress, ProgressEvery: opts.ProgressEvery,
+		KeepProofs: opts.KeepProofs,
+		Progress:   opts.Progress, ProgressEvery: opts.ProgressEvery,
 		ChunkTimeout: opts.ChunkTimeout, ChunkConflicts: opts.ChunkConflicts,
 		Journal: jnl,
 	}
@@ -438,6 +454,7 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 	switch pres.Status {
 	case sat.Sat:
 		res.Verdict = Unsafe
+		res.Model = pres.Model
 		res.Trace = trace.Decode(enc, pres.Model)
 		if !opts.SkipValidation {
 			valSpan := opts.phase("validate")

@@ -1,0 +1,374 @@
+package distrib
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/sat"
+	"repro/internal/trace"
+	"repro/internal/vc"
+	"repro/prog"
+)
+
+// Trust-but-verify: a remote verdict is only as trustworthy as the
+// evidence shipped with it. Workers attach a Certificate to every
+// definite result — the winning partition's satisfying model for UNSAFE
+// claims, one RUP refutation proof per partition for SAFE claims — and
+// the coordinator re-checks that evidence against its *own* encoding of
+// the program before the verdict may touch the run state or the journal.
+// The coordinator's encoding is the root of trust: a worker that lies
+// about a verdict, ships a bogus model, or fabricates a proof is caught
+// at the aggregation point (the only place a single faulty process could
+// otherwise invert the global answer) and quarantined as untrusted.
+
+const (
+	// maxCertBytes caps one certificate's compressed wire size. A
+	// declared size above the cap is rejected before a single frame is
+	// read, so a Byzantine worker cannot make the coordinator buffer an
+	// arbitrary payload.
+	maxCertBytes = 64 << 20 // 64 MiB
+	// maxCertDecodedBytes caps the decompressed certificate, defeating
+	// gzip bombs: decompression stops at the cap and the certificate is
+	// rejected.
+	maxCertDecodedBytes = 256 << 20 // 256 MiB
+	// certFrameData is the raw payload per "cert" wire frame. JSON
+	// base64-expands []byte by 4/3, so 8 MiB of data stays well under
+	// the 16 MiB frame cap.
+	certFrameData = 8 << 20
+)
+
+// errCertificate marks a certificate rejection — evidence that is
+// missing, malformed, oversized, or fails verification. It is
+// distinguished from transport errors because the response differs:
+// a rejected certificate quarantines the worker as untrusted, while a
+// transport failure only charges a retryable attempt.
+var errCertificate = errors.New("certificate rejected")
+
+// Certify levels requested per job / configured per run.
+const (
+	// CertifyFull requires proofs for SAFE chunks and a model for UNSAFE.
+	CertifyFull = "full"
+	// CertifyModel requires only the UNSAFE model (a sampled-out SAFE
+	// chunk is accepted uncertified); the cheap half of certification,
+	// since the model falls out of the solve for free while proof
+	// recording costs memory proportional to the search.
+	CertifyModel = "model"
+	// CertifyOff disables certification entirely.
+	CertifyOff = "off"
+)
+
+// CertifyPolicy selects which definite remote verdicts must carry a
+// verified certificate. The zero value is full certification — the sound
+// default; weaker modes are an explicit opt-out for runs where proof
+// traffic dominates.
+type CertifyPolicy struct {
+	// Mode is CertifyFull, CertifyModel is not a run mode (it only
+	// appears on individual jobs under sampling), or CertifyOff.
+	Mode string
+	// SampleEvery, in sample mode, requires an UNSAT proof on every Nth
+	// job (1-based; the first job is always sampled); other jobs carry
+	// only the UNSAFE-model obligation. 0 or 1 degenerates to full.
+	SampleEvery int
+}
+
+// ParseCertifyPolicy parses the -certify flag grammar:
+// "full" | "off" | "sample=N".
+func ParseCertifyPolicy(s string) (CertifyPolicy, error) {
+	switch {
+	case s == "" || s == CertifyFull:
+		return CertifyPolicy{Mode: CertifyFull}, nil
+	case s == CertifyOff:
+		return CertifyPolicy{Mode: CertifyOff}, nil
+	case len(s) > 7 && s[:7] == "sample=":
+		var n int
+		if _, err := fmt.Sscanf(s[7:], "%d", &n); err != nil || n < 1 {
+			return CertifyPolicy{}, fmt.Errorf("distrib: bad certify sample rate %q", s)
+		}
+		return CertifyPolicy{Mode: CertifyFull, SampleEvery: n}, nil
+	}
+	return CertifyPolicy{}, fmt.Errorf("distrib: bad certify mode %q (want full|sample=N|off)", s)
+}
+
+// normalize applies the zero-value default (full certification).
+func (p CertifyPolicy) normalize() CertifyPolicy {
+	if p.Mode == "" {
+		p.Mode = CertifyFull
+	}
+	return p
+}
+
+// Enabled reports whether any verification happens at all.
+func (p CertifyPolicy) Enabled() bool { return p.normalize().Mode != CertifyOff }
+
+// jobLevel returns the certify level to request for the id-th job
+// (1-based): proofs on sampled jobs, model-only otherwise.
+func (p CertifyPolicy) jobLevel(id int) string {
+	p = p.normalize()
+	if p.Mode == CertifyOff {
+		return CertifyOff
+	}
+	if p.SampleEvery > 1 && (id-1)%p.SampleEvery != 0 {
+		return CertifyModel
+	}
+	return CertifyFull
+}
+
+func (p CertifyPolicy) String() string {
+	p = p.normalize()
+	if p.Mode == CertifyFull && p.SampleEvery > 1 {
+		return fmt.Sprintf("sample=%d", p.SampleEvery)
+	}
+	return p.Mode
+}
+
+// PartitionProof pairs one partition index with its RUP refutation.
+type PartitionProof struct {
+	Partition int        `json:"partition"`
+	Proof     *sat.Proof `json:"proof"`
+}
+
+// Certificate is the independently checkable evidence behind a definite
+// remote verdict. It travels gzip-compressed as JSON, split across
+// "cert" wire frames after the result frame.
+type Certificate struct {
+	// NumVars is the variable count of the worker's formula; it must
+	// match the coordinator's own encoding or the certificate is
+	// rejected without further inspection.
+	NumVars int `json:"num_vars,omitempty"`
+	// Model is the winning partition's satisfying assignment, bit-packed
+	// LSB-first (UNSAFE verdicts).
+	Model []byte `json:"model,omitempty"`
+	// Proofs carries one refutation per partition of the chunk (SAFE
+	// verdicts under full certification).
+	Proofs []PartitionProof `json:"proofs,omitempty"`
+}
+
+// packBits packs a bool slice LSB-first.
+func packBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// unpackBits reverses packBits for n bits.
+func unpackBits(data []byte, n int) ([]bool, error) {
+	if n < 0 || len(data) != (n+7)/8 {
+		return nil, fmt.Errorf("model is %d bytes, want %d for %d vars", len(data), (n+7)/8, n)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = data[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out, nil
+}
+
+// encodeCertificate serialises a certificate for the wire: JSON, then
+// gzip. A nil certificate encodes to nil (no cert frames follow the
+// result).
+func encodeCertificate(c *Certificate) ([]byte, error) {
+	if c == nil {
+		return nil, nil
+	}
+	body, err := json.Marshal(c)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(body); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCertificate reverses encodeCertificate, bounding decompression
+// at maxCertDecodedBytes so a gzip bomb is rejected, not inflated.
+func decodeCertificate(data []byte) (*Certificate, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("certificate gzip: %w", err)
+	}
+	defer zr.Close()
+	body, err := io.ReadAll(io.LimitReader(zr, maxCertDecodedBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("certificate gzip: %w", err)
+	}
+	if len(body) > maxCertDecodedBytes {
+		return nil, fmt.Errorf("certificate decompresses past %d bytes", maxCertDecodedBytes)
+	}
+	var c Certificate
+	if err := json.Unmarshal(body, &c); err != nil {
+		return nil, fmt.Errorf("certificate json: %w", err)
+	}
+	return &c, nil
+}
+
+// buildCertificate assembles the evidence for one honestly computed job
+// result: the raw model for UNSAFE (any certify level above off), the
+// per-partition proofs for SAFE (full level only — proof recording was
+// enabled on the solve iff the job asked for it).
+func buildCertificate(res *core.Result, level string) *Certificate {
+	if level == CertifyOff || level == "" {
+		return nil
+	}
+	switch res.Verdict {
+	case core.Unsafe:
+		return &Certificate{NumVars: len(res.Model), Model: packBits(res.Model)}
+	case core.Safe:
+		if level != CertifyFull {
+			return nil
+		}
+		c := &Certificate{NumVars: res.Vars}
+		for _, inst := range res.Instances {
+			if inst.Proof != nil {
+				c.Proofs = append(c.Proofs, PartitionProof{Partition: inst.Partition, Proof: inst.Proof})
+			}
+		}
+		return c
+	}
+	return nil
+}
+
+// certVerifier holds the coordinator's own encoding of the program — the
+// root of trust every remote certificate is checked against. Workers
+// receive only the program source; whatever formula they actually
+// solved, their evidence must check out against this encoding or the
+// verdict is discarded.
+type certVerifier struct {
+	enc     *vc.Encoded
+	formula *cnf.Formula
+	parts   []partition.Partition // indexed by absolute partition index
+}
+
+// newCertVerifier encodes the program exactly as workers are instructed
+// to (same bounds, same total partition count, no preprocessing).
+func newCertVerifier(p *prog.Program, opts CoordinatorOptions) (*certVerifier, error) {
+	copts := core.Options{
+		Unwind:     opts.Unwind,
+		Contexts:   opts.Contexts,
+		Width:      opts.Width,
+		Partitions: opts.Partitions,
+	}
+	enc, _, _, err := core.EncodeProgram(p, copts)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: certification encoding failed: %w", err)
+	}
+	parts, _, err := core.MakePartitions(enc, copts)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: certification partitioning failed: %w", err)
+	}
+	return &certVerifier{enc: enc, formula: enc.Formula(), parts: parts}, nil
+}
+
+// litHolds evaluates a literal under the solver-convention model
+// (model[v-1] is variable v).
+func litHolds(l cnf.Lit, model []bool) bool {
+	return model[l.Var()-1] != l.Neg()
+}
+
+// verifyUnsafe checks an UNSAFE claim end to end: the claimed winner
+// lies in the chunk, the shipped model satisfies every clause of the
+// coordinator's formula plus the winner partition's assumptions, and the
+// decoded counterexample replays to a real assertion violation on the
+// concrete interpreter.
+func (v *certVerifier) verifyUnsafe(chunk partition.Chunk, winner int, cert *Certificate) error {
+	if cert == nil || len(cert.Model) == 0 {
+		return fmt.Errorf("UNSAFE claim without a model certificate")
+	}
+	if winner < chunk.From || winner > chunk.To || winner >= len(v.parts) {
+		return fmt.Errorf("claimed winner %d outside chunk [%d,%d]", winner, chunk.From, chunk.To)
+	}
+	if cert.NumVars != v.formula.NumVars {
+		return fmt.Errorf("model covers %d vars, coordinator encoding has %d", cert.NumVars, v.formula.NumVars)
+	}
+	model, err := unpackBits(cert.Model, cert.NumVars)
+	if err != nil {
+		return err
+	}
+	for i, c := range v.formula.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if litHolds(l, model) {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			return fmt.Errorf("claimed model falsifies clause %d of the coordinator's encoding", i)
+		}
+	}
+	for _, l := range v.parts[winner].Assumptions {
+		if !litHolds(l, model) {
+			return fmt.Errorf("claimed model violates partition %d assumption %v", winner, l)
+		}
+	}
+	tr := trace.Decode(v.enc, model)
+	viol, err := trace.Validate(v.enc, tr)
+	if err != nil {
+		return fmt.Errorf("counterexample replay failed: %v", err)
+	}
+	if viol == nil {
+		return fmt.Errorf("counterexample replay reached no assertion violation")
+	}
+	return nil
+}
+
+// verifySafe checks a SAFE claim: the certificate must refute every
+// partition of the chunk with a RUP proof that checks against the
+// coordinator's formula under that partition's assumptions.
+func (v *certVerifier) verifySafe(chunk partition.Chunk, cert *Certificate) error {
+	if cert == nil {
+		return fmt.Errorf("SAFE claim without a proof certificate")
+	}
+	if chunk.From < 0 || chunk.To >= len(v.parts) {
+		return fmt.Errorf("chunk [%d,%d] outside the coordinator's %d partitions", chunk.From, chunk.To, len(v.parts))
+	}
+	proofs := make(map[int]*sat.Proof, len(cert.Proofs))
+	for _, pp := range cert.Proofs {
+		if _, dup := proofs[pp.Partition]; dup {
+			return fmt.Errorf("duplicate proof for partition %d", pp.Partition)
+		}
+		proofs[pp.Partition] = pp.Proof
+	}
+	for idx := chunk.From; idx <= chunk.To; idx++ {
+		proof := proofs[idx]
+		if proof == nil {
+			return fmt.Errorf("no refutation proof for partition %d", idx)
+		}
+		if err := sat.CheckRUP(v.formula, v.parts[idx].Assumptions, proof); err != nil {
+			return fmt.Errorf("partition %d: %v", idx, err)
+		}
+	}
+	return nil
+}
+
+// verify dispatches on the claimed verdict and reports the verification
+// wall time; level is the certify level the job was issued under.
+func (v *certVerifier) verify(chunk partition.Chunk, reply *Message, cert *Certificate, level string) (time.Duration, error) {
+	t0 := time.Now()
+	var err error
+	switch reply.Verdict {
+	case core.Unsafe.String():
+		err = v.verifyUnsafe(chunk, reply.Winner, cert)
+	case core.Safe.String():
+		if level == CertifyFull {
+			err = v.verifySafe(chunk, cert)
+		}
+	}
+	return time.Since(t0), err
+}

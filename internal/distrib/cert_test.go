@@ -1,0 +1,468 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sat"
+	"repro/prog"
+)
+
+func TestParseCertifyPolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"", "full", false},
+		{"full", "full", false},
+		{"off", "off", false},
+		{"sample=4", "sample=4", false},
+		{"sample=1", "full", false},
+		{"sample=0", "", true},
+		{"sample=x", "", true},
+		{"bogus", "", true},
+	}
+	for _, c := range cases {
+		p, err := ParseCertifyPolicy(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseCertifyPolicy(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCertifyPolicy(%q): %v", c.in, err)
+			continue
+		}
+		if p.String() != c.want {
+			t.Errorf("ParseCertifyPolicy(%q) = %q, want %q", c.in, p, c.want)
+		}
+	}
+}
+
+func TestCertifyPolicyJobLevel(t *testing.T) {
+	full := CertifyPolicy{}
+	for id := 1; id <= 4; id++ {
+		if lvl := full.jobLevel(id); lvl != CertifyFull {
+			t.Fatalf("full policy job %d: %q", id, lvl)
+		}
+	}
+	sampled := CertifyPolicy{Mode: CertifyFull, SampleEvery: 2}
+	want := []string{CertifyFull, CertifyModel, CertifyFull, CertifyModel}
+	for id := 1; id <= 4; id++ {
+		if lvl := sampled.jobLevel(id); lvl != want[id-1] {
+			t.Fatalf("sample=2 job %d: %q, want %q", id, lvl, want[id-1])
+		}
+	}
+	off := CertifyPolicy{Mode: CertifyOff}
+	if lvl := off.jobLevel(1); lvl != CertifyOff {
+		t.Fatalf("off policy job 1: %q", lvl)
+	}
+}
+
+func TestPackBitsRoundTrip(t *testing.T) {
+	bits := []bool{true, false, true, true, false, false, false, true, true, false}
+	packed := packBits(bits)
+	got, err := unpackBits(packed, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d: %v", i, got[i])
+		}
+	}
+	if _, err := unpackBits(packed, len(bits)+8); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCertificateEncodeDecode(t *testing.T) {
+	cert := &Certificate{
+		NumVars: 12,
+		Model:   packBits(make([]bool, 12)),
+		Proofs: []PartitionProof{
+			{Partition: 3, Proof: &sat.Proof{Lemmas: []cnf.Clause{
+				{cnf.PosLit(1), cnf.NegLit(2)}, {},
+			}}},
+		},
+	}
+	data, err := encodeCertificate(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVars != cert.NumVars || !bytes.Equal(got.Model, cert.Model) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Proofs) != 1 || got.Proofs[0].Partition != 3 || got.Proofs[0].Proof.NumLemmas() != 2 {
+		t.Fatalf("proofs: %+v", got.Proofs)
+	}
+
+	if nilData, err := encodeCertificate(nil); err != nil || nilData != nil {
+		t.Fatalf("nil certificate: %v, %v", nilData, err)
+	}
+	if _, err := decodeCertificate([]byte("not gzip at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := decodeCertificate(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated certificate accepted")
+	}
+}
+
+// runWorker runs one worker to completion. Byzantine workers may see
+// their connection die in a race with the coordinator's stop, so errors
+// are returned rather than fatal.
+func runWorker(t *testing.T, addr, name string, plan *FaultPlan, reconnects int) (int, error) {
+	t.Helper()
+	return Work(context.Background(), addr, WorkerOptions{
+		Name: name, Cores: 1, Faults: plan,
+		MaxReconnects: reconnects, ReconnectBackoff: 20 * time.Millisecond,
+	})
+}
+
+func findWorker(res *CoordinatorResult, name string) *WorkerHealth {
+	for i := range res.Workers {
+		if res.Workers[i].Name == name {
+			return &res.Workers[i]
+		}
+	}
+	return nil
+}
+
+// TestCertifiedDistributedSafe: the default policy (zero value) is full
+// certification, and honest SAFE verdicts come back with checkable
+// refutation proofs for every partition.
+func TestCertifiedDistributedSafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2,
+	})
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Certified != 2 || res.CertRejected != 0 {
+		t.Fatalf("certified %d, rejected %d", res.Certified, res.CertRejected)
+	}
+}
+
+// TestCertifiedDistributedUnsafe: an honest UNSAFE verdict ships its
+// model, which the coordinator re-evaluates and replays before believing
+// the counterexample.
+func TestCertifiedDistributedUnsafe(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 4, Partitions: 8, ChunkSize: 2,
+	})
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Unsafe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Winner < 0 || res.Winner >= 8 {
+		t.Fatalf("winner %d", res.Winner)
+	}
+	if res.Certified == 0 || res.CertRejected != 0 {
+		t.Fatalf("certified %d, rejected %d", res.Certified, res.CertRejected)
+	}
+	if res.CertifyMillis < 0 {
+		t.Fatalf("certify millis %d", res.CertifyMillis)
+	}
+}
+
+// byzantineScenario runs one lying worker to rejection, then an honest
+// worker to completion, and checks the lie did not survive: the final
+// verdict is the true one, the liar is quarantined as untrusted, and the
+// rejection metric moved.
+func byzantineScenario(t *testing.T, opts CoordinatorOptions, plan *FaultPlan, want core.Verdict) *CoordinatorResult {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, fastFailureOpts(opts))
+
+	// The liar runs alone first, so it is guaranteed to be handed a
+	// chunk and be caught lying about it.
+	if _, err := runWorker(t, addr, "liar", plan, 0); err != nil &&
+		!strings.Contains(err.Error(), "use of closed") {
+		t.Logf("liar worker ended: %v", err)
+	}
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("honest worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+
+	if res.Verdict != want {
+		t.Fatalf("verdict %v, want %v", res.Verdict, want)
+	}
+	if res.CertRejected == 0 {
+		t.Fatal("no certificate rejected")
+	}
+	liar := findWorker(res, "liar")
+	if liar == nil || !liar.Untrusted || liar.CertRejections == 0 {
+		t.Fatalf("liar health: %+v", liar)
+	}
+	honest := findWorker(res, "honest")
+	if honest == nil || honest.Untrusted {
+		t.Fatalf("honest health: %+v", honest)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if v, ok := metricValue(buf.String(), "parbmc_coordinator_certificates_rejected_total"); !ok || v == 0 {
+		t.Fatalf("parbmc_coordinator_certificates_rejected_total = %v, %v", v, ok)
+	}
+	if v, ok := metricValue(buf.String(), "parbmc_worker_certificates_rejected_total"); !ok || v == 0 {
+		t.Fatalf("parbmc_worker_certificates_rejected_total = %v, %v", v, ok)
+	}
+	return res
+}
+
+// A worker flipping SAFE to UNSAFE with a fabricated model must not
+// produce a false alarm: the model fails re-evaluation, the worker is
+// quarantined, and the honest re-solve restores SAFE.
+func TestByzantineFlipVerdictRejected(t *testing.T) {
+	byzantineScenario(t,
+		CoordinatorOptions{Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2},
+		&FaultPlan{Events: []FaultEvent{{Job: 0, Kind: FaultFlipVerdict}}},
+		core.Safe)
+}
+
+// A worker claiming UNSAFE with a garbage model on a safe program must
+// not flip the global verdict.
+func TestByzantineBogusModelRejected(t *testing.T) {
+	byzantineScenario(t,
+		CoordinatorOptions{Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2},
+		&FaultPlan{Events: []FaultEvent{{Job: 0, Kind: FaultBogusModel}}},
+		core.Safe)
+}
+
+// A worker suppressing a real counterexample (UNSAFE flipped to SAFE,
+// shipping no proofs) is caught by the missing-refutation check; the
+// honest re-solve still finds the bug. The liar lies on every job it is
+// given, whichever chunk that happens to be.
+func TestByzantineSuppressedBugRejected(t *testing.T) {
+	byzantineScenario(t,
+		CoordinatorOptions{Unwind: 1, Contexts: 4, Partitions: 8, ChunkSize: 2},
+		&FaultPlan{Events: []FaultEvent{
+			{Job: 0, Kind: FaultFlipVerdict}, {Job: 1, Kind: FaultFlipVerdict},
+			{Job: 2, Kind: FaultFlipVerdict}, {Job: 3, Kind: FaultFlipVerdict},
+		}},
+		core.Unsafe)
+}
+
+// A truncated certificate is caught at decode time and treated as a lie,
+// not as a transport hiccup.
+func TestByzantineTruncatedProofRejected(t *testing.T) {
+	byzantineScenario(t,
+		CoordinatorOptions{Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2},
+		&FaultPlan{Events: []FaultEvent{{Job: 0, Kind: FaultTruncatedProof}}},
+		core.Safe)
+}
+
+// An oversized certificate declaration is rejected before a single
+// payload byte is read.
+func TestByzantineOversizedProofRejected(t *testing.T) {
+	byzantineScenario(t,
+		CoordinatorOptions{Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2},
+		&FaultPlan{Events: []FaultEvent{{Job: 0, Kind: FaultOversizedProof}}},
+		core.Safe)
+}
+
+// An untrusted worker's reconnection attempts are refused for the rest
+// of the run.
+func TestUntrustedWorkerRefused(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, fastFailureOpts(CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2,
+	}))
+	plan := &FaultPlan{Events: []FaultEvent{{Job: 0, Kind: FaultBogusModel}}}
+	if _, err := runWorker(t, addr, "liar", plan, 0); err != nil {
+		t.Logf("liar worker ended: %v", err)
+	}
+	// Reconnect as the same (now untrusted) name: the coordinator must
+	// stop it immediately without handing it a job.
+	n, err := runWorker(t, addr, "liar", nil, 0)
+	if err != nil {
+		t.Fatalf("refused worker should get a clean stop, got %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("untrusted worker completed %d jobs", n)
+	}
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("honest worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+// Sampling certifies the UNSAFE model on every job but demands SAFE
+// proofs only on every Nth one; the uncertified SAFE verdicts are
+// accepted but marked uncertified.
+func TestCertifySampleMode(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 1,
+		Certify: CertifyPolicy{Mode: CertifyFull, SampleEvery: 2},
+	})
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Certified != 2 || res.CertRejected != 0 {
+		t.Fatalf("certified %d (want 2 of 4 sampled), rejected %d", res.Certified, res.CertRejected)
+	}
+}
+
+// With certification off there is no verifier and no certificate
+// traffic; the run behaves exactly as before the feature existed.
+func TestCertifyOff(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2,
+		Certify: CertifyPolicy{Mode: CertifyOff},
+	})
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.Certified != 0 || res.CertifyMillis != 0 {
+		t.Fatalf("certified %d, certify millis %d with certification off", res.Certified, res.CertifyMillis)
+	}
+}
+
+// A journal written by an uncertified run must not leak unverified
+// verdicts into a certified resume: the uncertified records are
+// re-queued and re-solved instead of replayed.
+func TestResumeRequeuesUncertifiedRecords(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	jpath := t.TempDir() + "/run.journal"
+	base := CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2,
+		JournalPath: jpath,
+	}
+
+	run1 := base
+	run1.Certify = CertifyPolicy{Mode: CertifyOff}
+	addr, resCh := startCoordinator(t, p, run1)
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("run 1 worker: %v", err)
+	}
+	if res := waitResult(t, resCh); res.Verdict != core.Safe {
+		t.Fatalf("run 1 verdict %v", res.Verdict)
+	}
+
+	run2 := base // zero-value Certify: full
+	run2.Resume = true
+	addr, resCh = startCoordinator(t, p, run2)
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("run 2 worker: %v", err)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Safe {
+		t.Fatalf("run 2 verdict %v", res.Verdict)
+	}
+	if res.Resumed != 0 {
+		t.Fatalf("run 2 replayed %d uncertified records", res.Resumed)
+	}
+	if res.Certified != 2 {
+		t.Fatalf("run 2 certified %d", res.Certified)
+	}
+}
+
+// The counterpart: records committed by a certified run carry the
+// certified marker and replay without workers.
+func TestResumeReplaysCertifiedRecords(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	jpath := t.TempDir() + "/run.journal"
+	base := CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2,
+		JournalPath: jpath,
+	}
+
+	addr, resCh := startCoordinator(t, p, base)
+	if _, err := runWorker(t, addr, "honest", nil, 0); err != nil {
+		t.Fatalf("run 1 worker: %v", err)
+	}
+	if res := waitResult(t, resCh); res.Verdict != core.Safe {
+		t.Fatalf("run 1 verdict %v", res.Verdict)
+	}
+
+	run2 := base
+	run2.Resume = true
+	_, resCh = startCoordinator(t, p, run2)
+	res := waitResult(t, resCh) // no workers: the journal must decide the run
+	if res.Verdict != core.Safe {
+		t.Fatalf("run 2 verdict %v", res.Verdict)
+	}
+	if res.Resumed != 2 {
+		t.Fatalf("run 2 resumed %d", res.Resumed)
+	}
+}
+
+// A panicking solver path becomes a structured worker error: the process
+// survives, reconnects, and finishes the run honestly.
+func TestWorkerPanicRecovery(t *testing.T) {
+	p := prog.MustParse(fibSrc)
+	addr, resCh := startCoordinator(t, p, fastFailureOpts(CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: 4, ChunkSize: 2,
+	}))
+	plan := &FaultPlan{Events: []FaultEvent{{Job: 0, Kind: FaultPanic}}}
+	n, err := runWorker(t, addr, "phoenix", plan, 3)
+	if err != nil {
+		t.Fatalf("worker did not survive its panic: %v", err)
+	}
+	if n < 2 {
+		t.Fatalf("worker completed %d jobs, want the full run after the panic", n)
+	}
+	res := waitResult(t, resCh)
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	w := findWorker(res, "phoenix")
+	if w == nil || w.Failures == 0 {
+		t.Fatalf("panicking job was not charged as a failure: %+v", w)
+	}
+	if w.Untrusted {
+		t.Fatal("a panic is not a lie: worker must stay trusted")
+	}
+}
+
+// runJob's recover boundary, exercised directly.
+func TestRunJobRecoversPanic(t *testing.T) {
+	m := &Message{Type: "job", JobID: 7, Source: fibSrc, Unwind: 1, Contexts: 3,
+		Partitions: 4, From: 0, To: 1, Certify: CertifyFull}
+	reply, cert := runJob(context.Background(), m, 1, nil, &FaultEvent{Job: 0, Kind: FaultPanic})
+	if reply == nil || reply.JobID != 7 {
+		t.Fatalf("reply %+v", reply)
+	}
+	if reply.Error == "" || !strings.Contains(reply.Error, "panic") {
+		t.Fatalf("error %q", reply.Error)
+	}
+	if cert != nil {
+		t.Fatal("panicked job produced a certificate")
+	}
+}

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -71,6 +72,11 @@ type CoordinatorOptions struct {
 	// into; cmd/coordinator shares one instance with its /healthz
 	// endpoint. Nil: Coordinate creates a private one.
 	Health *HealthRegistry
+	// Certify selects how much evidence remote definite verdicts must
+	// carry, verified against the coordinator's own encoding before a
+	// verdict is believed or journaled. The zero value is full
+	// certification; see CertifyPolicy.
+	Certify CertifyPolicy
 }
 
 // CoordinatorResult aggregates a distributed run.
@@ -114,6 +120,13 @@ type CoordinatorResult struct {
 	// SolveMillis sums the remote per-job solver wall time — the total
 	// search effort spent across the cluster, as opposed to Wall.
 	SolveMillis int64
+	// CertifyMillis sums the coordinator-side certificate verification
+	// time, the overhead certification adds on top of SolveMillis.
+	CertifyMillis int64
+	// Certified counts definite verdicts accepted with a verified
+	// certificate; CertRejected counts results whose certificate was
+	// rejected (each rejection also marks its worker untrusted).
+	Certified, CertRejected int
 }
 
 // ChunkExhausted names the budget a chunk gave up under.
@@ -136,12 +149,13 @@ type coordinator struct {
 	res       *CoordinatorResult
 	jerr      error // first journal commit failure: fails the whole run
 
-	pending chan partition.Chunk
-	done    chan struct{}
-	tracker *chunkTracker
-	health  *HealthRegistry
-	metrics *coordMetrics
-	jnl     *journal.Journal
+	pending  chan partition.Chunk
+	done     chan struct{}
+	tracker  *chunkTracker
+	health   *HealthRegistry
+	metrics  *coordMetrics
+	jnl      *journal.Journal
+	verifier *certVerifier // nil iff certification is off
 }
 
 // Coordinate serves the analysis of program p over the workers that
@@ -174,8 +188,21 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	if opts.DrainTimeout == 0 {
 		opts.DrainTimeout = 30 * time.Second
 	}
+	opts.Certify = opts.Certify.normalize()
 	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
 	source := prog.Format(p)
+
+	// With certification on, the coordinator builds its own encoding of
+	// the program up front — the root of trust every remote certificate
+	// is checked against. The cost is one encode, paid once per run.
+	var verifier *certVerifier
+	if opts.Certify.Enabled() {
+		var verr error
+		verifier, verr = newCertVerifier(p, opts)
+		if verr != nil {
+			return nil, verr
+		}
+	}
 
 	// The journal pins everything that gives a chunk's [From,To] range
 	// its meaning; a committed record replays only into the exact same
@@ -224,6 +251,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		health:    health,
 		metrics:   newCoordMetrics(opts.Metrics),
 		jnl:       jnl,
+		verifier:  verifier,
 	}
 	co.metrics.chunksTotal.Set(int64(len(chunks)))
 
@@ -241,6 +269,15 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		// the exhausted budget re-queues the chunk for workers instead of
 		// replaying a give-up the new flags were meant to overcome.
 		if rec.RetryUnder(opts.ChunkTimeout.Milliseconds(), opts.ChunkConflicts) {
+			co.pending <- ch
+			continue
+		}
+		// A certified run replays only certified definite verdicts. An
+		// uncertified record (journaled by a run with -certify=off, or a
+		// SAFE chunk whose proof was sampled out) was never checked
+		// against this coordinator's encoding, so it is re-solved rather
+		// than trusted into a certified history.
+		if verifier != nil && rec.Verdict != core.Unknown.String() && !rec.Certified {
 			co.pending <- ch
 			continue
 		}
@@ -391,6 +428,12 @@ func (co *coordinator) serve(c net.Conn) {
 		return // never joined: does not count as a worker failure
 	}
 	key := co.health.connected(hello.WorkerName, c.RemoteAddr().String())
+	if co.health.isUntrusted(key) {
+		// A worker caught lying once is refused for the rest of the run:
+		// its verdicts cannot be believed, certified or not.
+		_ = wc.send(&Message{Type: "stop"})
+		return
+	}
 	co.workerJoined()
 	defer co.workerLeft()
 
@@ -411,6 +454,7 @@ func (co *coordinator) serve(c net.Conn) {
 		id := co.jobID
 		co.mu.Unlock()
 		co.tracker.assigned(chunk)
+		level := co.opts.Certify.jobLevel(id)
 		job := &Message{
 			Type: "job", JobID: id, Source: co.source,
 			Unwind: co.opts.Unwind, Contexts: co.opts.Contexts, Width: co.opts.Width,
@@ -418,6 +462,7 @@ func (co *coordinator) serve(c net.Conn) {
 			HeartbeatMillis:    hbMillis,
 			ChunkTimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
 			ChunkConflicts:     co.opts.ChunkConflicts,
+			Certify:            level,
 		}
 		if err := wc.send(job); err != nil {
 			co.failChunk(chunk, key, fmt.Sprintf("send job %d to %s: %v", id, key, err))
@@ -427,6 +472,43 @@ func (co *coordinator) serve(c net.Conn) {
 		if err != nil {
 			co.failChunk(chunk, key, err.Error())
 			return
+		}
+		// The certificate frames follow the result and must be drained
+		// even when certification is off, to keep the stream in sync.
+		cert, err := co.readCertificate(wc, id, key, reply, hbMillis > 0)
+		if err != nil {
+			if errors.Is(err, errCertificate) {
+				co.rejectCertificate(chunk, key, err.Error())
+				_ = wc.send(&Message{Type: "stop"})
+				return
+			}
+			co.failChunk(chunk, key, err.Error())
+			return
+		}
+		// Trust-but-verify: a definite verdict updates the run state only
+		// after its evidence checks out against the coordinator's own
+		// encoding. A rejected certificate condemns the worker, not the
+		// chunk: the chunk is re-queued elsewhere at no attempt cost.
+		certified := false
+		if co.verifier != nil &&
+			(reply.Verdict == core.Unsafe.String() || reply.Verdict == core.Safe.String()) {
+			dur, verr := co.verifier.verify(chunk, reply, cert, level)
+			co.metrics.certifySeconds.Observe(dur.Seconds())
+			co.mu.Lock()
+			co.res.CertifyMillis += dur.Milliseconds()
+			co.mu.Unlock()
+			if verr != nil {
+				co.rejectCertificate(chunk, key, fmt.Sprintf("job %d on %s: %v", id, key, verr))
+				_ = wc.send(&Message{Type: "stop"})
+				return
+			}
+			if reply.Verdict == core.Unsafe.String() || level == CertifyFull {
+				certified = true
+				co.metrics.certVerified.Inc()
+				co.mu.Lock()
+				co.res.Certified++
+				co.mu.Unlock()
+			}
 		}
 		co.health.jobDone(key)
 		co.metrics.jobResult(key, reply.Stats, reply.SolveMillis)
@@ -438,6 +520,7 @@ func (co *coordinator) serve(c net.Conn) {
 			if !co.commitChunk(journal.ChunkRecord{
 				From: chunk.From, To: chunk.To,
 				Verdict: core.Unsafe.String(), Winner: reply.Winner, Millis: reply.Millis,
+				Certified: certified,
 			}) {
 				return
 			}
@@ -454,6 +537,7 @@ func (co *coordinator) serve(c net.Conn) {
 			if !co.commitChunk(journal.ChunkRecord{
 				From: chunk.From, To: chunk.To,
 				Verdict: core.Safe.String(), Winner: -1, Millis: reply.Millis,
+				Certified: certified,
 			}) {
 				return
 			}
@@ -558,6 +642,63 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 			return nil, fmt.Errorf("job %d on %s: unexpected message %q", id, key, reply.Type)
 		}
 	}
+}
+
+// readCertificate reads the certificate frames a result declared via
+// CertSize and decodes them. Errors wrapped in errCertificate are the
+// worker's fault (oversized declaration, protocol violation, corrupt
+// payload) and condemn the worker; bare errors are transport failures
+// and only charge a retryable attempt.
+func (co *coordinator) readCertificate(wc *conn, id int, key string, reply *Message, heartbeats bool) (*Certificate, error) {
+	if reply.CertSize == 0 {
+		return nil, nil
+	}
+	if reply.CertSize < 0 || reply.CertSize > maxCertBytes {
+		return nil, fmt.Errorf("%w: job %d on %s declares a %d-byte certificate (cap %d)",
+			errCertificate, id, key, reply.CertSize, int64(maxCertBytes))
+	}
+	grace := co.opts.JobTimeout
+	if heartbeats && co.opts.HeartbeatGrace < grace {
+		grace = co.opts.HeartbeatGrace
+	}
+	data := make([]byte, 0, reply.CertSize)
+	for seq := 0; int64(len(data)) < reply.CertSize; seq++ {
+		m, err := wc.recv(grace)
+		if err != nil {
+			return nil, fmt.Errorf("job %d on %s: certificate frame %d: %v", id, key, seq, err)
+		}
+		if m.Type != "cert" || m.JobID != id || m.Seq != seq {
+			return nil, fmt.Errorf("%w: job %d on %s: expected cert frame %d, got %q job=%d seq=%d",
+				errCertificate, id, key, seq, m.Type, m.JobID, m.Seq)
+		}
+		if len(m.Data) == 0 || int64(len(data)+len(m.Data)) > reply.CertSize {
+			return nil, fmt.Errorf("%w: job %d on %s: certificate frames overflow the declared %d bytes",
+				errCertificate, id, key, reply.CertSize)
+		}
+		data = append(data, m.Data...)
+	}
+	cert, err := decodeCertificate(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: job %d on %s: %v", errCertificate, id, key, err)
+	}
+	return cert, nil
+}
+
+// rejectCertificate quarantines the worker behind a rejected certificate
+// and puts its chunk back on the queue. The chunk is not charged a
+// failed attempt — it did nothing wrong, and a fleet with one persistent
+// liar must not be able to quarantine chunks by burning their budgets.
+func (co *coordinator) rejectCertificate(chunk partition.Chunk, key, reason string) {
+	co.health.certRejected(key)
+	co.health.failed(key)
+	co.metrics.certRejected.Inc()
+	co.metrics.workerCertRejected(key)
+	co.metrics.reassigned.Inc()
+	co.mu.Lock()
+	co.res.CertRejected++
+	co.res.Reassigned++
+	co.mu.Unlock()
+	co.pending <- chunk
 }
 
 // recordRemoteStats folds one job result's search statistics into the

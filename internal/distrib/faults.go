@@ -17,6 +17,29 @@ const (
 	// FaultCorrupt puts a malformed frame on the wire in place of the
 	// result and drops the connection.
 	FaultCorrupt
+	// FaultPanic makes the solver path panic inside the job. The worker's
+	// recover boundary must convert it into a structured Error result and
+	// keep the process alive.
+	FaultPanic
+
+	// The remaining kinds are Byzantine: the worker completes the job but
+	// lies about the outcome. They exercise the coordinator's certificate
+	// checking — an uncertified coordinator accepts every one of them.
+
+	// FaultFlipVerdict inverts a definite verdict: SAFE becomes UNSAFE
+	// with a fabricated all-zero model, UNSAFE becomes SAFE with no
+	// proofs.
+	FaultFlipVerdict
+	// FaultBogusModel claims UNSAFE with a garbage model regardless of
+	// the honest verdict.
+	FaultBogusModel
+	// FaultTruncatedProof sends only a prefix of the real certificate
+	// (declaring the truncated size, so the cut manifests as a corrupt
+	// certificate rather than a hung transfer).
+	FaultTruncatedProof
+	// FaultOversizedProof declares a certificate above the coordinator's
+	// size cap and sends nothing.
+	FaultOversizedProof
 )
 
 func (k FaultKind) String() string {
@@ -27,8 +50,29 @@ func (k FaultKind) String() string {
 		return "stall"
 	case FaultCorrupt:
 		return "corrupt"
+	case FaultPanic:
+		return "panic"
+	case FaultFlipVerdict:
+		return "flip-verdict"
+	case FaultBogusModel:
+		return "bogus-model"
+	case FaultTruncatedProof:
+		return "truncated-proof"
+	case FaultOversizedProof:
+		return "oversized-proof"
 	}
 	return "unknown"
+}
+
+// transport reports whether the kind is injected at the wire level
+// (before the job runs) rather than by mutating an honestly computed
+// result.
+func (k FaultKind) transport() bool {
+	switch k {
+	case FaultDrop, FaultStall, FaultCorrupt:
+		return true
+	}
+	return false
 }
 
 // FaultEvent injects one failure when the worker receives its Job-th job

@@ -17,7 +17,14 @@ type WorkerHealth struct {
 	Connections int
 	Jobs        int
 	Failures    int
-	LastSeen    time.Time
+	// CertRejections counts results whose certificate the coordinator
+	// rejected — evidence the worker lied or corrupted its proof.
+	CertRejections int
+	// Untrusted marks a worker whose certificate was rejected: its
+	// verdicts can no longer be believed, so the coordinator refuses its
+	// future connections for the rest of the run.
+	Untrusted bool
+	LastSeen  time.Time
 }
 
 // HealthRegistry is the coordinator's view of every worker that ever
@@ -70,6 +77,28 @@ func (r *HealthRegistry) failed(key string) {
 		w.Failures++
 		w.LastSeen = time.Now()
 	}
+}
+
+// certRejected records a rejected certificate and marks the worker
+// untrusted: one proven lie is enough to stop believing a peer whose
+// whole job is to report verdicts.
+func (r *HealthRegistry) certRejected(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w := r.workers[key]; w != nil {
+		w.CertRejections++
+		w.Untrusted = true
+		w.LastSeen = time.Now()
+	}
+}
+
+// isUntrusted reports whether a worker has been quarantined for a
+// rejected certificate.
+func (r *HealthRegistry) isUntrusted(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[key]
+	return w != nil && w.Untrusted
 }
 
 // touch refreshes LastSeen (heartbeats).

@@ -22,6 +22,9 @@ type coordMetrics struct {
 	chunksResumed   *obs.Counter
 	budgetExhausted *obs.Counter
 	journalCommits  *obs.Counter
+	certVerified    *obs.Counter
+	certRejected    *obs.Counter
+	certifySeconds  *obs.Histogram
 
 	remoteDecisions    *obs.Counter
 	remoteConflicts    *obs.Counter
@@ -54,6 +57,12 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Chunks that ended Unknown with a named budget (terminal)."),
 		journalCommits: reg.Counter("parbmc_journal_commits_total",
 			"Chunk verdicts durably committed to the run journal."),
+		certVerified: reg.Counter("parbmc_coordinator_certificates_verified_total",
+			"Remote verdict certificates that checked out against the coordinator's own encoding."),
+		certRejected: reg.Counter("parbmc_coordinator_certificates_rejected_total",
+			"Remote verdict certificates rejected (missing, malformed, oversized, or failed verification)."),
+		certifySeconds: reg.Histogram("parbmc_certify_seconds",
+			"Per-result certificate verification wall time in seconds.", nil),
 		remoteDecisions: reg.Counter("parbmc_remote_decisions_total",
 			"Solver decisions aggregated from remote job results."),
 		remoteConflicts: reg.Counter("parbmc_remote_conflicts_total",
@@ -91,6 +100,12 @@ func (m *coordMetrics) heartbeat(worker string, conflicts, propagations int64) {
 		"Live conflict count of the worker's current job.", "worker", worker).Set(conflicts)
 	m.reg.Gauge("parbmc_worker_live_propagations",
 		"Live propagation count of the worker's current job.", "worker", worker).Set(propagations)
+}
+
+// workerCertRejected charges one rejected certificate to a worker.
+func (m *coordMetrics) workerCertRejected(worker string) {
+	m.reg.Counter("parbmc_worker_certificates_rejected_total",
+		"Certificates rejected per worker (a nonzero count marks the worker untrusted).", "worker", worker).Inc()
 }
 
 // workerFailed charges one failed attempt to a worker.

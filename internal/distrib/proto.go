@@ -28,7 +28,7 @@ var wireTable = crc32.MakeTable(crc32.Castagnoli)
 // Message is the JSON wire format exchanged between coordinator and
 // workers, one message per line.
 type Message struct {
-	// Type is "hello", "job", "heartbeat", "result", or "stop".
+	// Type is "hello", "job", "heartbeat", "result", "cert", or "stop".
 	Type string `json:"type"`
 
 	// Hello fields.
@@ -53,6 +53,10 @@ type Message struct {
 	// chunk degrades to a budgeted Unknown instead of eating JobTimeout.
 	ChunkTimeoutMillis int64 `json:"chunk_timeout_millis,omitempty"`
 	ChunkConflicts     int64 `json:"chunk_conflicts,omitempty"`
+	// Certify is the evidence level the coordinator demands with this
+	// job's result: "full" (UNSAFE model + per-partition UNSAT proofs),
+	// "model" (UNSAFE model only), or "off"/"" (none).
+	Certify string `json:"certify,omitempty"`
 
 	// Result fields. SolveMillis is the solver's share of Millis, and
 	// Stats aggregates the job's per-partition search statistics, so
@@ -69,6 +73,18 @@ type Message struct {
 	// such as worker-side cancellation. A budgeted Unknown is terminal:
 	// re-running the same chunk under the same budgets gives up again.
 	Cause string `json:"cause,omitempty"`
+
+	// CertSize, on a definite result solved under certification,
+	// declares the compressed certificate's total byte size; the
+	// certificate follows the result as CertSize bytes of gzip'd JSON
+	// split across "cert" frames. 0 means no certificate follows.
+	CertSize int64 `json:"cert_size,omitempty"`
+
+	// Cert-frame fields: Seq numbers the frames of one certificate from
+	// 0 upward and Data carries this frame's slice of the compressed
+	// payload (base64 under encoding/json).
+	Seq  int    `json:"seq,omitempty"`
+	Data []byte `json:"data,omitempty"`
 
 	// Heartbeat live-progress fields: cumulative conflicts and
 	// propagations across the job's solver instances so far, snapshotted

@@ -1,0 +1,78 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// fuzzFrame formats a payload exactly as conn.send does (minus the
+// trailing newline, which the reader strips before verifyFrame).
+func fuzzFrame(payload []byte) []byte {
+	line := fmt.Appendf(nil, "%08x ", crc32.Checksum(payload, wireTable))
+	return append(line, payload...)
+}
+
+// FuzzVerifyFrame throws arbitrary bytes at the CRC-framed decoder. The
+// invariants: no panic, and acceptance implies the checksum genuinely
+// matched the returned payload.
+func FuzzVerifyFrame(f *testing.F) {
+	// Seeds mirror the table in proto_crc_test.go.
+	f.Add(fuzzFrame([]byte(`{"type":"hello","worker_name":"w0"}`)))
+	f.Add([]byte(`00000000 {"type":"hello"}`))
+	f.Add([]byte(`{"type":"hello"}`))
+	f.Add([]byte("x"))
+	f.Add([]byte(`zzzzzzzz {"type":"hello"}`))
+	f.Add([]byte("deadbeef x"))
+	f.Add([]byte("00000000 "))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		payload, err := verifyFrame(line)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(payload, line[9:]) {
+			t.Fatalf("accepted payload %q is not the frame body of %q", payload, line)
+		}
+		// An accepted payload must at least be safe to hand to the
+		// message decoder, whether or not it is valid JSON.
+		var m Message
+		_ = json.Unmarshal(payload, &m)
+	})
+}
+
+// FuzzDecodeCertificate feeds arbitrary bytes to the certificate
+// decoder: it must reject or accept without panicking, and never
+// allocate past the decompression cap.
+func FuzzDecodeCertificate(f *testing.F) {
+	valid, err := encodeCertificate(&Certificate{
+		NumVars: 8,
+		Model:   packBits([]bool{true, false, true, true, false, true, false, false}),
+		Proofs: []PartitionProof{{Partition: 0, Proof: &sat.Proof{
+			Lemmas: []cnf.Clause{{cnf.PosLit(1)}, {}},
+		}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("not gzip"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cert, err := decodeCertificate(data)
+		if err != nil {
+			return
+		}
+		if len(data) > 0 && cert == nil {
+			t.Fatal("nil certificate with nil error for non-empty input")
+		}
+	})
+}

@@ -139,15 +139,39 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 		case "job":
 			idx := w.jobs
 			w.jobs++
-			if f := w.opts.Faults.eventAt(idx); f != nil {
+			f := w.opts.Faults.eventAt(idx)
+			if f != nil && f.Kind.transport() {
 				done, ferr := w.inject(ctx, wc, f)
 				if done {
 					return jobs, false, ferr
 				}
-				// A stall falls through: the job still runs, late.
+				f = nil // a stall falls through: the job still runs, late and honestly
 			}
-			reply := w.runJobWithHeartbeats(ctx, wc, m)
+			reply, cert := w.runJobWithHeartbeats(ctx, wc, m, f)
+			mutateResult(f, m, reply, &cert)
+			certData, cerr := encodeCertificate(cert)
+			if cerr != nil {
+				reply.Error = fmt.Sprintf("certificate encoding: %v", cerr)
+				certData = nil
+			}
+			declared := int64(len(certData))
+			if f != nil {
+				switch f.Kind {
+				case FaultTruncatedProof:
+					// Declare the truncated size: the cut arrives "complete"
+					// and fails decoding, instead of hanging the transfer.
+					certData = certData[:len(certData)/2]
+					declared = int64(len(certData))
+				case FaultOversizedProof:
+					declared = maxCertBytes + 1
+					certData = nil
+				}
+			}
+			reply.CertSize = declared
 			if err := wc.send(reply); err != nil {
+				return jobs, false, err
+			}
+			if err := sendCert(wc, m.JobID, certData); err != nil {
 				return jobs, false, err
 			}
 			jobs++
@@ -227,7 +251,7 @@ func (p *jobProgress) totals() (conflicts, propagations int64) {
 // conflict/propagation totals from the solver progress hook. The sender
 // is stopped before the result goes out, so a result is never followed
 // by its own heartbeat.
-func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message) *Message {
+func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message, f *FaultEvent) (*Message, *Certificate) {
 	var hbStop, hbDone chan struct{}
 	var progress *jobProgress
 	if m.HeartbeatMillis > 0 {
@@ -253,20 +277,88 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message)
 			}
 		}()
 	}
-	reply := runJob(ctx, m, w.opts.Cores, progress)
+	reply, cert := runJob(ctx, m, w.opts.Cores, progress, f)
 	if hbStop != nil {
 		close(hbStop)
 		<-hbDone
 	}
-	return reply
+	return reply, cert
 }
 
-func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *Message {
-	reply := &Message{Type: "result", JobID: m.JobID, Winner: -1}
+// mutateResult applies a Byzantine fault to an honestly computed result:
+// the worker lies about the verdict or its evidence. Exercises the
+// coordinator's certificate checking.
+func mutateResult(f *FaultEvent, m *Message, reply *Message, cert **Certificate) {
+	if f == nil || reply.Error != "" {
+		return
+	}
+	// Fabricated models reuse the honest certificate's variable count
+	// when one exists, so the lie passes the cheap size check and is
+	// caught by actual clause evaluation.
+	numVars := 1
+	if *cert != nil && (*cert).NumVars > 0 {
+		numVars = (*cert).NumVars
+	}
+	switch f.Kind {
+	case FaultFlipVerdict:
+		switch reply.Verdict {
+		case core.Safe.String():
+			reply.Verdict = core.Unsafe.String()
+			reply.Winner = m.From
+			*cert = &Certificate{NumVars: numVars, Model: packBits(make([]bool, numVars))}
+		case core.Unsafe.String():
+			reply.Verdict = core.Safe.String()
+			reply.Winner = -1
+			*cert = &Certificate{NumVars: numVars} // no proofs: nothing to show
+		}
+	case FaultBogusModel:
+		reply.Verdict = core.Unsafe.String()
+		reply.Winner = m.From
+		bogus := make([]bool, numVars)
+		for i := range bogus {
+			bogus[i] = i%2 == 0
+		}
+		*cert = &Certificate{NumVars: numVars, Model: packBits(bogus)}
+	}
+}
+
+// sendCert streams one encoded certificate after its result, split into
+// frames small enough to survive the wire's frame cap after base64
+// expansion. A nil/empty certificate sends nothing.
+func sendCert(wc *conn, jobID int, data []byte) error {
+	for seq := 0; len(data) > 0; seq++ {
+		n := certFrameData
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := wc.send(&Message{Type: "cert", JobID: jobID, Seq: seq, Data: data[:n]}); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// runJob executes one job. The deferred recover is the worker's panic
+// boundary: a solver bug (or an injected FaultPanic) becomes a
+// structured Error result instead of killing the process, so one poison
+// chunk cannot take a whole worker down.
+func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f *FaultEvent) (reply *Message, cert *Certificate) {
+	reply = &Message{Type: "result", JobID: m.JobID, Winner: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			reply = &Message{Type: "result", JobID: m.JobID, Winner: -1,
+				Error: fmt.Sprintf("panic: %v", r)}
+			cert = nil
+		}
+	}()
+	if f != nil && f.Kind == FaultPanic {
+		panic(fmt.Sprintf("injected panic at job %d", f.Job))
+	}
 	p, err := prog.Parse(m.Source)
 	if err != nil {
 		reply.Error = err.Error()
-		return reply
+		return reply, nil
 	}
 	opts := core.Options{
 		Unwind:         m.Unwind,
@@ -278,6 +370,9 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *
 		To:             m.To + 1,
 		ChunkTimeout:   time.Duration(m.ChunkTimeoutMillis) * time.Millisecond,
 		ChunkConflicts: m.ChunkConflicts,
+		// Record refutation proofs when the coordinator demands full
+		// certificates; the UNSAFE model is kept in any case.
+		KeepProofs: m.Certify == CertifyFull,
 	}
 	if progress != nil {
 		opts.Progress = progress.update
@@ -288,7 +383,7 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *
 	reply.Millis = time.Since(start).Milliseconds()
 	if err != nil {
 		reply.Error = err.Error()
-		return reply
+		return reply, nil
 	}
 	reply.Verdict = res.Verdict.String()
 	reply.SolveMillis = res.SolveTime.Milliseconds()
@@ -317,5 +412,5 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress) *
 		// keeps its original indices across the subrange).
 		reply.Winner = res.Winner
 	}
-	return reply
+	return reply, buildCertificate(res, m.Certify)
 }

@@ -11,12 +11,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/flatten"
 	"repro/internal/parallel"
 	"repro/internal/partition"
@@ -605,6 +608,48 @@ func ExtensionSampling(ctx context.Context, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "  %-40s sampling: %-45s partitioned BMC: %v in %.3fs (exhaustive)\n",
 			cs.name, sOut, bres.Verdict, bres.SolveTime.Seconds())
+	}
+	return nil
+}
+
+// CertifyOverhead measures what end-to-end verdict certification costs a
+// distributed run: the same analysis over an in-process loopback cluster
+// with certificates off and fully on, comparing coordinator-side verify
+// time against remote solve time. The claim under test is that the
+// trust-but-verify layer is cheap relative to the search it certifies
+// (checking a RUP proof replays only unit propagation; checking a model
+// is one linear formula evaluation).
+func CertifyOverhead(ctx context.Context, w io.Writer) error {
+	b := bench.BoundedbufferBench()
+	fmt.Fprintln(w, "Certification overhead: distributed analysis of boundedbuffer (u=2, c=5, 8 partitions, loopback cluster)")
+	for _, mode := range []string{distrib.CertifyOff, distrib.CertifyFull} {
+		policy, err := distrib.ParseCertifyPolicy(mode)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = distrib.Work(ctx, ln.Addr().String(), distrib.WorkerOptions{Name: "bench", Cores: 2})
+		}()
+		res, err := distrib.Coordinate(ctx, ln, b.Program, distrib.CoordinatorOptions{
+			Unwind: 2, Contexts: 5, Width: 8,
+			Partitions: 8, ChunkSize: 2,
+			HeartbeatInterval: -1,
+			Certify:           policy,
+		})
+		wg.Wait()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  certify=%-4s  %v  solve=%8.3fs  verify=%8.3fs  certified=%d verdicts\n",
+			mode, res.Verdict,
+			float64(res.SolveMillis)/1000, float64(res.CertifyMillis)/1000, res.Certified)
 	}
 	return nil
 }

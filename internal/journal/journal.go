@@ -110,6 +110,14 @@ type ChunkRecord struct {
 	// (see RetryUnder) instead of replaying a stale give-up.
 	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
 	Conflicts     int64 `json:"conflicts,omitempty"`
+	// Certified marks a remote verdict whose certificate (RUP proof or
+	// satisfying model) the coordinator verified against its own encoding
+	// before committing. A distributed resume running with certification
+	// enabled re-queues uncertified definite records instead of replaying
+	// them, so a lying worker's verdict can never outlive the run that
+	// accepted it. Locally solved records (internal/parallel) leave it
+	// false: the solving process is its own root of trust.
+	Certified bool `json:"certified,omitempty"`
 }
 
 // RetryUnder reports whether a budget-exhausted record should be

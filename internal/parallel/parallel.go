@@ -41,6 +41,10 @@ type InstanceResult struct {
 	// Resumed marks a verdict replayed from the journal rather than
 	// solved in this run.
 	Resumed bool
+	// Proof is the instance's recorded refutation (Status == Unsat with
+	// Options.KeepProofs; nil otherwise). Distributed workers ship it to
+	// the coordinator as the UNSAT half of a verdict certificate.
+	Proof *sat.Proof
 	// Time is the instance's wall-clock solving time.
 	Time time.Duration
 	// Stats are the solver search statistics.
@@ -83,6 +87,11 @@ type Options struct {
 	// verdicts are certified independently of the CDCL search — the
 	// counterpart of replay-validating counterexamples.
 	CertifyUnsat bool
+	// KeepProofs records a clausal (RUP) proof in every instance and
+	// retains it on InstanceResult.Proof for UNSAT instances, without
+	// checking it locally — for distributed workers, whose proofs are
+	// checked by the coordinator against its own encoding instead.
+	KeepProofs bool
 	// ChunkTimeout bounds each instance's wall-clock solving time; an
 	// expired instance is interrupted and reports Unknown with
 	// CauseTimeout (0 = unbounded).
@@ -230,6 +239,7 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 
 	committed := committedRecords(opts.Journal)
 	var journalErr error
+	var panicErr error
 
 	// Resume pass: replay every committed verdict before spawning any
 	// solver goroutine, so the shared Result is only ever touched
@@ -309,6 +319,21 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panicking solver instance must not take the process down
+			// with it: the panic becomes the run's error and cancels the
+			// siblings, so callers (and distributed workers in particular)
+			// see a structured failure for one poison partition instead of
+			// a crash.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("parallel: partition %d solver panicked: %v", pt.Index, r)
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}()
 			select {
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
@@ -331,7 +356,7 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 
 			solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
 			opts.instrument(solver, pt.Index)
-			if opts.CertifyUnsat {
+			if opts.CertifyUnsat || opts.KeepProofs {
 				solver.EnableProof()
 			}
 			mu.Lock()
@@ -386,6 +411,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 				Time:      elapsed,
 				Stats:     solver.Stats(),
 			}
+			if status == sat.Unsat && opts.KeepProofs {
+				inst.Proof = solver.ProofLog()
+			}
 			// Commit before acknowledging the verdict in the shared
 			// result, so a crash after this point can only lose work the
 			// journal already holds — never claim work it lost.
@@ -418,6 +446,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 	wg.Wait()
 	res.Wall = time.Since(start)
 	res.Certified = opts.CertifyUnsat && !certFailed
+	if panicErr != nil {
+		return nil, panicErr
+	}
 	if journalErr != nil {
 		return nil, fmt.Errorf("parallel: journal commit failed: %w", journalErr)
 	}

@@ -74,7 +74,7 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 
 		solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
 		opts.instrument(solver, pt.Index)
-		if opts.CertifyUnsat {
+		if opts.CertifyUnsat || opts.KeepProofs {
 			solver.EnableProof()
 		}
 		var timedOut atomic.Bool
@@ -118,6 +118,9 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 			Cause:     cause,
 			Time:      times[i],
 			Stats:     solver.Stats(),
+		}
+		if status == sat.Unsat && opts.KeepProofs {
+			inst.Proof = solver.ProofLog()
 		}
 		if cerr := opts.commit(inst); cerr != nil {
 			return nil, fmt.Errorf("parallel: journal commit failed: %w", cerr)

@@ -1,0 +1,114 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// This file serialises refutation proofs. Two formats are supported:
+//
+//   - DRAT-style text (WriteDRAT / ParseDRAT): one lemma per line as
+//     signed DIMACS literals terminated by 0, the format external proof
+//     checkers and humans read. Our proofs contain no deletion lines;
+//     "d" lines are skipped on input for compatibility.
+//   - The JSON encoding the distributed certificate layer uses is the
+//     Proof struct itself: cnf.Lit is an integer, so Lemmas marshals as
+//     [][]int in the solver's internal literal encoding (2v / 2v+1).
+//
+// Size accounting (NumLemmas / NumLits) lets senders and receivers
+// budget serialisation up front — a proof's wire size is linear in
+// NumLits — and lets the coordinator reject implausibly large
+// certificates before decompressing them.
+
+// NumLemmas returns the number of derived clauses in the proof,
+// nil-safe.
+func (p *Proof) NumLemmas() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Lemmas)
+}
+
+// NumLits returns the total literal count across all lemmas — the
+// quantity a serialised proof's size is proportional to. Nil-safe.
+func (p *Proof) NumLits() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range p.Lemmas {
+		n += len(c)
+	}
+	return n
+}
+
+// WriteDRAT writes the proof as DRAT-style text: one lemma per line of
+// space-separated signed DIMACS literals, each terminated by " 0". A
+// header comment records the lemma count so a truncated file is
+// detectable by eye.
+func WriteDRAT(w io.Writer, p *Proof) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "c RUP proof, %d lemmas, %d literals\n", p.NumLemmas(), p.NumLits()); err != nil {
+		return err
+	}
+	if p != nil {
+		for _, lemma := range p.Lemmas {
+			for _, l := range lemma {
+				if _, err := fmt.Fprintf(bw, "%d ", l.Dimacs()); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString("0\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDRAT reads a DRAT-style text proof: comment lines ("c ...") and
+// deletion lines ("d ...") are skipped, every other line must be signed
+// DIMACS literals terminated by 0. The empty clause ("0" alone) parses
+// as a zero-length lemma.
+func ParseDRAT(r io.Reader) (*Proof, error) {
+	p := &Proof{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "d") {
+			continue
+		}
+		var lemma cnf.Clause
+		terminated := false
+		for _, tok := range strings.Fields(line) {
+			if terminated {
+				return nil, fmt.Errorf("sat: drat line %d: literals after terminating 0", lineNo)
+			}
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: drat line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				terminated = true
+				continue
+			}
+			lemma = append(lemma, cnf.FromDimacs(n))
+		}
+		if !terminated {
+			return nil, fmt.Errorf("sat: drat line %d: missing terminating 0", lineNo)
+		}
+		p.Lemmas = append(p.Lemmas, lemma)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sat: drat: %w", err)
+	}
+	return p, nil
+}
