@@ -12,9 +12,17 @@
 // With -metrics-addr the coordinator serves /metrics (Prometheus text
 // format: chunk/worker gauges, aggregated remote solver counters, live
 // per-worker conflict gauges fed by heartbeats) and /healthz (the
-// worker-health registry as JSON), plus pprof with -pprof:
+// worker-health registry as JSON, plus the HA role when -lease is set),
+// plus pprof with -pprof:
 //
 //	coordinator -listen :9731 -metrics-addr :9100 -i program.mt --unwind 2 --contexts 5 --partitions 16
+//
+// With -lease two coordinators form a hot-standby pair: whichever
+// acquires the shared lease file runs the analysis as primary; the
+// other serves as a warm standby, live-replicating the primary's
+// journal into its own -journal path, and promotes automatically —
+// resuming from the replica — when the primary's lease expires. Point
+// workers at both with a comma-separated -coordinator list.
 package main
 
 import (
@@ -53,6 +61,10 @@ func main() {
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-chunk wall-clock budget on workers (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-chunk solver conflict budget on workers (0: unbounded)")
 		certify    = flag.String("certify", "full", "remote verdict certification: full | sample=N | off")
+		lease      = flag.String("lease", "", "shared leadership lease file: run as an HA primary/standby pair (requires -journal)")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "leadership lease duration; bounds the failover blackout")
+		holder     = flag.String("holder", "", "this coordinator's name in the lease (default: the listen address)")
+		advertise  = flag.String("advertise", "", "address advertised in the lease for workers and the standby (default: the bound listen address)")
 	)
 	flag.Parse()
 	certPolicy, err := distrib.ParseCertifyPolicy(*certify)
@@ -81,6 +93,10 @@ func main() {
 	}
 	fmt.Printf("coordinator: listening on %s (%d partitions)\n", ln.Addr(), *partitions)
 
+	var haState *distrib.HAState
+	if *lease != "" {
+		haState = &distrib.HAState{}
+	}
 	var (
 		metrics *obs.Registry
 		health  *distrib.HealthRegistry
@@ -90,8 +106,21 @@ func main() {
 		health = distrib.NewHealthRegistry()
 		mux := obs.NewMux(obs.MuxOptions{
 			Registry: metrics,
-			Health:   func() any { return health.Snapshot() },
-			Pprof:    *pprofOn,
+			Health: func() any {
+				if haState == nil {
+					return health.Snapshot()
+				}
+				// HA runs report their role alongside worker health, so
+				// an operator (or a probe) can tell primary from standby.
+				role, epoch, replicated := haState.Role()
+				return map[string]any{
+					"role":               role,
+					"epoch":              epoch,
+					"replicated_records": replicated,
+					"workers":            health.Snapshot(),
+				}
+			},
+			Pprof: *pprofOn,
 		})
 		srv, errc := obs.Serve(*metricAddr, mux)
 		defer srv.Close()
@@ -109,7 +138,7 @@ func main() {
 	// is fsynced to -journal before it is acknowledged.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := distrib.Coordinate(ctx, ln, p, distrib.CoordinatorOptions{
+	opts := distrib.CoordinatorOptions{
 		Unwind:            *unwind,
 		Contexts:          *contexts,
 		Width:             *width,
@@ -126,7 +155,28 @@ func main() {
 		Metrics:           metrics,
 		Health:            health,
 		Certify:           certPolicy,
-	})
+	}
+	var res *distrib.CoordinatorResult
+	if *lease != "" {
+		name := *holder
+		if name == "" {
+			name = ln.Addr().String()
+		}
+		addr := *advertise
+		if addr == "" {
+			addr = ln.Addr().String()
+		}
+		fmt.Printf("coordinator: HA mode, lease %s, holder %s, advertising %s\n", *lease, name, addr)
+		res, err = distrib.RunHA(ctx, ln, p, opts, distrib.HAOptions{
+			LeasePath: *lease,
+			Holder:    name,
+			Addr:      addr,
+			LeaseTTL:  *leaseTTL,
+			State:     haState,
+		})
+	} else {
+		res, err = distrib.Coordinate(ctx, ln, p, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
 		os.Exit(2)

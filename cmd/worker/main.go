@@ -4,14 +4,23 @@
 // reports verdicts until the coordinator sends stop. With -reconnect it
 // survives connection loss, redialing with exponential backoff + jitter.
 //
+// -connect accepts a comma-separated list of coordinator addresses for
+// HA pairs (primary,standby): on connection loss the worker rotates
+// through the list until it finds whichever coordinator currently holds
+// the leadership lease, so a failover needs no worker restarts.
+// -reconnect-timeout caps the total wall-clock retry budget per outage;
+// when it expires the worker exits non-zero with the reason in its
+// final log line.
+//
 // The -fault-* flags drive the deterministic fault-injection harness
 // used to exercise the coordinator's retry and quarantine paths:
-// transport faults (drop/stall/corrupt at a chosen job index), a solver
-// panic (-fault-panic), and Byzantine faults that lie about a computed
-// result (-fault-flip, -fault-bogus-model, -fault-truncate-proof,
-// -fault-oversize-proof) to exercise certificate rejection.
+// transport faults (drop/stall/corrupt/half-open at a chosen job
+// index), a solver panic (-fault-panic), and Byzantine faults that lie
+// about a computed result (-fault-flip, -fault-bogus-model,
+// -fault-truncate-proof, -fault-oversize-proof) to exercise
+// certificate rejection.
 //
-//	worker -connect host:9731 -cores 4 -reconnect 5
+//	worker -connect host:9731,host2:9731 -cores 4 -reconnect 5 -reconnect-timeout 2m
 package main
 
 import (
@@ -29,14 +38,16 @@ import (
 
 func main() {
 	var (
-		connect   = flag.String("connect", "127.0.0.1:9731", "coordinator address")
+		connect   = flag.String("connect", "127.0.0.1:9731", "coordinator address, or a comma-separated primary,standby list")
 		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
 		cores     = flag.Int("cores", 1, "local solver instances per job")
 		name      = flag.String("name", "", "worker name reported to the coordinator")
 		reconnect = flag.Int("reconnect", 0, "max consecutive reconnect attempts after connection loss (0: exit on loss)")
 		backoff   = flag.Duration("backoff", 0, "base reconnect backoff (default 250ms)")
+		reconnTO  = flag.Duration("reconnect-timeout", 0, "total wall-clock retry budget per outage (0: unbounded)")
 		seed      = flag.Int64("fault-seed", 0, "seed for backoff jitter and the fault plan")
 		dropAt    = flag.Int("fault-drop", -1, "drop the connection upon receiving this job index")
+		halfAt    = flag.Int("fault-half-open", -1, "go half-open at this job index: TCP stays up, all sends silently vanish")
 		corruptAt = flag.Int("fault-corrupt", -1, "send a corrupt frame in place of this job's result")
 		stallAt   = flag.Int("fault-stall", -1, "go silent (no heartbeats) before running this job")
 		stallFor  = flag.Duration("stall-for", 30*time.Second, "stall duration for -fault-stall")
@@ -59,6 +70,7 @@ func main() {
 		kind distrib.FaultKind
 	}{
 		{*dropAt, distrib.FaultDrop},
+		{*halfAt, distrib.FaultHalfOpen},
 		{*corruptAt, distrib.FaultCorrupt},
 		{*panicAt, distrib.FaultPanic},
 		{*flipAt, distrib.FaultFlipVerdict},
@@ -91,6 +103,7 @@ func main() {
 		Cores:            *cores,
 		MaxReconnects:    *reconnect,
 		ReconnectBackoff: *backoff,
+		ReconnectTimeout: *reconnTO,
 		Faults:           plan,
 	})
 	if err != nil {

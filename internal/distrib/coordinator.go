@@ -77,7 +77,22 @@ type CoordinatorOptions struct {
 	// verdict is believed or journaled. The zero value is full
 	// certification; see CertifyPolicy.
 	Certify CertifyPolicy
+	// Epoch is the leadership fencing token stamped into the welcome
+	// handshake and every job (see Lease). Workers that have seen a
+	// higher epoch refuse this coordinator, so a deposed primary that
+	// revives after a failover cannot hand out stale work. 0 for
+	// standalone (non-HA) runs.
+	Epoch int64
+	// Faults, when non-nil, injects deterministic coordinator-side
+	// failures for failover tests — see CoordinatorFaultPlan.
+	Faults *CoordinatorFaultPlan
 }
+
+// ErrPrimaryKilled is returned by Coordinate when
+// CoordinatorFaultPlan.KillAfterJobs halts the run: the simulated
+// SIGKILL leaves the journal unclosed, workers unnotified, and the
+// lease unreleased, exactly like the real signal.
+var ErrPrimaryKilled = errors.New("distrib: primary killed by fault plan")
 
 // CoordinatorResult aggregates a distributed run.
 type CoordinatorResult struct {
@@ -145,16 +160,20 @@ type coordinator struct {
 	remaining int // chunks neither refuted nor quarantined
 	active    int // connected workers past hello
 	finished  bool
+	killed    bool // fault plan halted the primary mid-run
 	drain     *time.Timer
 	res       *CoordinatorResult
 	jerr      error // first journal commit failure: fails the whole run
+	conns     map[*conn]struct{}
 
 	pending  chan partition.Chunk
 	done     chan struct{}
 	tracker  *chunkTracker
 	health   *HealthRegistry
 	metrics  *coordMetrics
+	commitMu sync.Mutex // orders journal commits and their replication
 	jnl      *journal.Journal
+	repl     *replicator   // live journal replication fan-out; nil without a journal
 	verifier *certVerifier // nil iff certification is off
 }
 
@@ -208,6 +227,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	// its meaning; a committed record replays only into the exact same
 	// run configuration.
 	var jnl *journal.Journal
+	var repl *replicator
 	committed := map[partition.Chunk]journal.ChunkRecord{}
 	if opts.JournalPath != "" {
 		if !opts.Resume {
@@ -233,6 +253,13 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		for _, rec := range jnl.Committed() {
 			committed[partition.Chunk{From: rec.From, To: rec.To}] = rec
 		}
+		// Connected standbys tail every committed record live, so their
+		// local journal copies stay promotion-ready. Seeded with the
+		// history a resumed run already holds.
+		repl, jerr = newReplicator(jnl.Manifest(), jnl.Committed())
+		if jerr != nil {
+			return nil, jerr
+		}
 	}
 
 	health := opts.Health
@@ -245,12 +272,14 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		source:    source,
 		remaining: len(chunks),
 		res:       &CoordinatorResult{Verdict: core.Safe, Winner: -1, ChunksTotal: len(chunks)},
+		conns:     make(map[*conn]struct{}),
 		pending:   make(chan partition.Chunk, len(chunks)),
 		done:      make(chan struct{}),
 		tracker:   newChunkTracker(opts.MaxAttempts),
 		health:    health,
 		metrics:   newCoordMetrics(opts.Metrics),
 		jnl:       jnl,
+		repl:      repl,
 		verifier:  verifier,
 	}
 	co.metrics.chunksTotal.Set(int64(len(chunks)))
@@ -339,6 +368,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	}
 	res := co.res
 	jerr := co.jerr
+	killed := co.killed
 	res.Quarantined = co.tracker.failureLog()
 	res.Attempts = co.tracker.attempts()
 	res.Workers = co.health.Snapshot()
@@ -352,17 +382,27 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		// acknowledged: a resume would re-derive a different history.
 		return nil, fmt.Errorf("distrib: journal commit failed: %w", jerr)
 	}
+	if killed {
+		return nil, ErrPrimaryKilled
+	}
 	return res, nil
 }
 
 // commitChunk durably records one chunk verdict before it is
 // acknowledged to the run state. A commit failure ends the run: better
-// to stop than to hand out verdicts a resume cannot reproduce.
+// to stop than to hand out verdicts a resume cannot reproduce. The
+// commit/replicate pair is ordered under commitMu so every standby's
+// copy carries records in the primary's exact journal order —
+// replication happens strictly *after* the local fsync, never instead
+// of it, so a verdict a standby inherits is always one the primary
+// made durable first.
 func (co *coordinator) commitChunk(rec journal.ChunkRecord) bool {
 	if co.jnl == nil {
 		return true
 	}
+	co.commitMu.Lock()
 	if err := co.jnl.Commit(rec); err != nil {
+		co.commitMu.Unlock()
 		co.mu.Lock()
 		if co.jerr == nil {
 			co.jerr = err
@@ -371,8 +411,46 @@ func (co *coordinator) commitChunk(rec journal.ChunkRecord) bool {
 		co.mu.Unlock()
 		return false
 	}
+	co.repl.append(rec)
+	commits := co.jnl.Commits()
+	co.commitMu.Unlock()
 	co.metrics.journalCommits.Inc()
+	if co.opts.Faults.killAt(commits) {
+		co.kill()
+		return false
+	}
 	return true
+}
+
+// kill is the simulated SIGKILL of CoordinatorFaultPlan.KillAfterJobs:
+// tear everything down with no farewell. The done channel closes the
+// listener; closing every live connection makes each serve goroutine
+// fail mid-protocol exactly as a dead process would.
+func (co *coordinator) kill() {
+	co.mu.Lock()
+	co.killed = true
+	co.finishLocked()
+	conns := make([]*conn, 0, len(co.conns))
+	for c := range co.conns {
+		conns = append(conns, c)
+	}
+	co.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// addConn / removeConn track live connections for kill().
+func (co *coordinator) addConn(c *conn) {
+	co.mu.Lock()
+	co.conns[c] = struct{}{}
+	co.mu.Unlock()
+}
+
+func (co *coordinator) removeConn(c *conn) {
+	co.mu.Lock()
+	delete(co.conns, c)
+	co.mu.Unlock()
 }
 
 // finishLocked ends the run; callers hold co.mu.
@@ -423,15 +501,30 @@ func (co *coordinator) drainExpired() {
 func (co *coordinator) serve(c net.Conn) {
 	wc := newConn(c, 30*time.Second)
 	defer wc.close()
+	co.addConn(wc)
+	defer co.removeConn(wc)
 	hello, err := wc.recv(30 * time.Second)
 	if err != nil || hello.Type != "hello" {
 		return // never joined: does not count as a worker failure
+	}
+	if hello.Role == RoleStandby {
+		// A standby coordinator wants the journal replication stream,
+		// not jobs. It is not a worker: it never joins the health
+		// registry's worker set or the drain accounting.
+		co.serveReplica(wc, hello.WorkerName)
+		return
 	}
 	key := co.health.connected(hello.WorkerName, c.RemoteAddr().String())
 	if co.health.isUntrusted(key) {
 		// A worker caught lying once is refused for the rest of the run:
 		// its verdicts cannot be believed, certified or not.
 		_ = wc.send(&Message{Type: "stop"})
+		return
+	}
+	// The welcome pins this coordinator's role and lease epoch before
+	// any job: a worker that has already served a higher epoch refuses
+	// the whole session here, which is the split-brain fence.
+	if err := wc.send(&Message{Type: "welcome", Role: RolePrimary, Epoch: co.opts.Epoch}); err != nil {
 		return
 	}
 	co.workerJoined()
@@ -456,7 +549,7 @@ func (co *coordinator) serve(c net.Conn) {
 		co.tracker.assigned(chunk)
 		level := co.opts.Certify.jobLevel(id)
 		job := &Message{
-			Type: "job", JobID: id, Source: co.source,
+			Type: "job", JobID: id, Epoch: co.opts.Epoch, Source: co.source,
 			Unwind: co.opts.Unwind, Contexts: co.opts.Contexts, Width: co.opts.Width,
 			Partitions: co.opts.Partitions, From: chunk.From, To: chunk.To,
 			HeartbeatMillis:    hbMillis,

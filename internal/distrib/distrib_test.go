@@ -333,6 +333,10 @@ func TestDistributedStaleResultRejected(t *testing.T) {
 	if err := wc.send(&Message{Type: "hello", WorkerName: "liar"}); err != nil {
 		t.Fatal(err)
 	}
+	welcome, err := wc.recv(10 * time.Second)
+	if err != nil || welcome.Type != "welcome" {
+		t.Fatalf("expected welcome, got %v (%v)", welcome, err)
+	}
 	job, err := wc.recv(10 * time.Second)
 	if err != nil || job.Type != "job" {
 		t.Fatalf("expected job, got %v (%v)", job, err)

@@ -21,6 +21,13 @@ const (
 	// recover boundary must convert it into a structured Error result and
 	// keep the process alive.
 	FaultPanic
+	// FaultHalfOpen simulates a half-open connection: the TCP socket
+	// stays up and readable, the job runs, but every outbound message —
+	// heartbeats and the result alike — is silently swallowed. Neither
+	// endpoint sees a connection error, so only the coordinator's
+	// HeartbeatGrace monitor (never a transport failure, and long before
+	// JobTimeout) can detect it.
+	FaultHalfOpen
 
 	// The remaining kinds are Byzantine: the worker completes the job but
 	// lies about the outcome. They exercise the coordinator's certificate
@@ -52,6 +59,8 @@ func (k FaultKind) String() string {
 		return "corrupt"
 	case FaultPanic:
 		return "panic"
+	case FaultHalfOpen:
+		return "half-open"
 	case FaultFlipVerdict:
 		return "flip-verdict"
 	case FaultBogusModel:
@@ -125,4 +134,21 @@ func (p *FaultPlan) seed() int64 {
 		return 1
 	}
 	return p.Seed
+}
+
+// CoordinatorFaultPlan injects primary-side failures, the counterpart
+// of the worker's FaultPlan for failover testing.
+type CoordinatorFaultPlan struct {
+	// KillAfterJobs, when > 0, halts the coordinator abruptly after
+	// that many chunk verdicts have been committed: the listener and
+	// every worker connection are torn down with no stop messages, no
+	// journal close, and — critically — no lease release, exactly the
+	// wreckage a SIGKILL leaves. Coordinate returns ErrPrimaryKilled.
+	KillAfterJobs int
+}
+
+// killAt reports whether the plan kills the primary once n chunk
+// verdicts are committed, nil-safe.
+func (p *CoordinatorFaultPlan) killAt(n int) bool {
+	return p != nil && p.KillAfterJobs > 0 && n >= p.KillAfterJobs
 }

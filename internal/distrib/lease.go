@@ -1,0 +1,222 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Lease-based leadership.
+//
+// Exactly one coordinator may lead a run at a time. Leadership is a
+// lease on a shared file: the leader writes its identity, advertised
+// address, and an expiry, and renews well before the expiry; a standby
+// polls the file and may take over only once the lease has expired.
+// Every successful acquisition increments the epoch — a fencing token
+// stamped into the lease, the welcome handshake, and every job message,
+// so a deposed primary that revives (paused process, healed partition)
+// is refused by workers that have already seen the higher epoch. The
+// lease file bounds *when* a takeover may happen; the epoch bounds the
+// damage if two coordinators ever believe they lead simultaneously.
+//
+// Mutual exclusion during acquire/renew uses a sidecar lock file
+// created with O_EXCL, which is atomic on local filesystems (and on
+// NFSv4); the lease state itself is replaced atomically via rename.
+// This is a cooperative, same-filesystem protocol — both coordinators
+// must see the same lease path, typically on the shared storage that
+// also carries nothing else (journals stay node-local and travel by
+// replication).
+
+// ErrLeaseHeld is returned by AcquireLease while another holder's
+// unexpired lease is in force.
+var ErrLeaseHeld = errors.New("distrib: lease held")
+
+// ErrLeaseLost is returned by Lease.Renew when the file no longer
+// carries the caller's epoch and holder — another coordinator has taken
+// over, and the caller must stop acting as leader immediately.
+var ErrLeaseLost = errors.New("distrib: lease lost")
+
+// LeaseState is the JSON content of the lease file.
+type LeaseState struct {
+	// Epoch is the fencing token, incremented on every acquisition.
+	Epoch int64 `json:"epoch"`
+	// Holder names the coordinator holding the lease.
+	Holder string `json:"holder"`
+	// Addr is the holder's advertised coordinator address — where
+	// workers and the standby's replication client should dial.
+	Addr string `json:"addr"`
+	// ExpiresUnixMilli is the wall-clock expiry; a reader treats the
+	// lease as free once this has passed.
+	ExpiresUnixMilli int64 `json:"expires_unix_milli"`
+}
+
+// Expired reports whether the lease is past its expiry at time now.
+func (s LeaseState) Expired(now time.Time) bool {
+	return now.UnixMilli() >= s.ExpiresUnixMilli
+}
+
+// Lease is a held leadership lease.
+type Lease struct {
+	path   string
+	ttl    time.Duration
+	holder string
+	addr   string
+	epoch  int64
+}
+
+// ReadLease reads the current lease state. exists is false when no
+// lease file is present (no run has ever elected a leader).
+func ReadLease(path string) (state LeaseState, exists bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return LeaseState{}, false, nil
+	}
+	if err != nil {
+		return LeaseState{}, false, err
+	}
+	if err := json.Unmarshal(data, &state); err != nil {
+		return LeaseState{}, false, fmt.Errorf("distrib: lease file %s: %w", path, err)
+	}
+	return state, true, nil
+}
+
+// AcquireLease takes leadership if the lease is free (absent, expired,
+// or already held by this holder) and returns the held lease with a
+// freshly incremented epoch. While another holder's lease is in force
+// it returns ErrLeaseHeld wrapped with the current state.
+func AcquireLease(path, holder, addr string, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("distrib: lease TTL must be positive")
+	}
+	unlock, err := sidecarLock(path)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	cur, exists, err := ReadLease(path)
+	if err != nil {
+		return nil, err
+	}
+	if exists && !cur.Expired(time.Now()) && cur.Holder != holder {
+		return nil, fmt.Errorf("%w by %s (epoch %d) until %s", ErrLeaseHeld,
+			cur.Holder, cur.Epoch, time.UnixMilli(cur.ExpiresUnixMilli).Format(time.RFC3339))
+	}
+	l := &Lease{path: path, ttl: ttl, holder: holder, addr: addr, epoch: cur.Epoch + 1}
+	if err := l.write(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Epoch returns the fencing token of this acquisition.
+func (l *Lease) Epoch() int64 { return l.epoch }
+
+// Renew extends the lease by its TTL. It re-reads the file first: if
+// another coordinator's epoch is in force the caller has been deposed
+// and gets ErrLeaseLost — it must stop handing out work under its old
+// epoch (workers would refuse it anyway, but stopping early is
+// cheaper than being fenced).
+func (l *Lease) Renew() error {
+	unlock, err := sidecarLock(l.path)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	cur, exists, err := ReadLease(l.path)
+	if err != nil {
+		return err
+	}
+	if !exists || cur.Epoch != l.epoch || cur.Holder != l.holder {
+		return fmt.Errorf("%w: file now holds epoch %d (%s), we are epoch %d (%s)",
+			ErrLeaseLost, cur.Epoch, cur.Holder, l.epoch, l.holder)
+	}
+	return l.write()
+}
+
+// Release ends leadership cleanly by expiring the lease in place (the
+// epoch is preserved so the next acquisition still increments it). A
+// crashed leader skips this, and the standby waits out the TTL instead.
+func (l *Lease) Release() error {
+	unlock, err := sidecarLock(l.path)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	cur, exists, err := ReadLease(l.path)
+	if err != nil || !exists || cur.Epoch != l.epoch || cur.Holder != l.holder {
+		return err // deposed already: nothing of ours to release
+	}
+	cur.ExpiresUnixMilli = time.Now().UnixMilli()
+	return writeLeaseFile(l.path, cur)
+}
+
+// write replaces the lease state with this holder's, expiry ttl from
+// now.
+func (l *Lease) write() error {
+	return writeLeaseFile(l.path, LeaseState{
+		Epoch:            l.epoch,
+		Holder:           l.holder,
+		Addr:             l.addr,
+		ExpiresUnixMilli: time.Now().Add(l.ttl).UnixMilli(),
+	})
+}
+
+// writeLeaseFile replaces the lease file atomically (temp + rename), so
+// a reader never observes a torn lease.
+func writeLeaseFile(path string, s LeaseState) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".lease-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// sidecarLock serialises lease mutations through an O_EXCL lock file.
+// A lock older than staleLockAge is presumed abandoned by a crashed
+// mutator (mutations hold it for microseconds) and is broken.
+const staleLockAge = 10 * time.Second
+
+func sidecarLock(path string) (unlock func(), err error) {
+	lock := path + ".lock"
+	deadline := time.Now().Add(staleLockAge)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, err
+		}
+		if st, serr := os.Stat(lock); serr == nil && time.Since(st.ModTime()) > staleLockAge {
+			os.Remove(lock) // abandoned by a crashed mutator
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("distrib: lease lock %s wedged", lock)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

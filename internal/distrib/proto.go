@@ -9,6 +9,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sat"
@@ -28,12 +29,23 @@ var wireTable = crc32.MakeTable(crc32.Castagnoli)
 // Message is the JSON wire format exchanged between coordinator and
 // workers, one message per line.
 type Message struct {
-	// Type is "hello", "job", "heartbeat", "result", "cert", or "stop".
+	// Type is "hello", "welcome", "job", "heartbeat", "result", "cert",
+	// "replicate", "replicate-ack", or "stop".
 	Type string `json:"type"`
 
-	// Hello fields.
+	// Hello fields. Role distinguishes a work-seeking peer ("" — a
+	// worker) from a standby coordinator ("standby") that wants the
+	// journal replication stream instead of jobs.
 	WorkerName string `json:"worker_name,omitempty"`
 	Cores      int    `json:"cores,omitempty"`
+	Role       string `json:"role,omitempty"`
+
+	// Welcome fields: the coordinator answers every hello with its
+	// current role ("primary" or "standby", reusing Role) and lease
+	// Epoch. Epoch is the split-brain fence — it also rides on every
+	// job, and a peer that has seen a higher epoch refuses the lower
+	// one: a deposed primary that revives cannot hand out stale work.
+	Epoch int64 `json:"epoch,omitempty"`
 
 	// Job fields: the program source plus the analysis parameters and
 	// the partition range (the paper's --from/--to interface).
@@ -82,7 +94,12 @@ type Message struct {
 
 	// Cert-frame fields: Seq numbers the frames of one certificate from
 	// 0 upward and Data carries this frame's slice of the compressed
-	// payload (base64 under encoding/json).
+	// payload (base64 under encoding/json). Replication reuses both: a
+	// "replicate" message carries one framed journal record in Data with
+	// Seq counting records from 0 (manifest first), and a
+	// "replicate-ack" reports the standby's durably applied record count
+	// in Seq — the primary's replication-lag gauge is commits minus the
+	// last acked Seq.
 	Seq  int    `json:"seq,omitempty"`
 	Data []byte `json:"data,omitempty"`
 
@@ -103,7 +120,15 @@ type conn struct {
 	w        *bufio.Writer
 	to       time.Duration
 	maxFrame int
+	// muted silently swallows sends while leaving the TCP connection
+	// and the read side fully alive — the half-open failure mode the
+	// FaultHalfOpen harness injects (a peer that looks connected but
+	// whose traffic goes nowhere).
+	muted atomic.Bool
 }
+
+// mute toggles silent send-swallowing (fault injection only).
+func (c *conn) mute(on bool) { c.muted.Store(on) }
 
 func newConn(c net.Conn, timeout time.Duration) *conn {
 	return &conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c), to: timeout, maxFrame: maxFrameBytes}
@@ -124,6 +149,9 @@ func (c *conn) send(m *Message) error {
 // sendRaw writes a pre-framed line verbatim. It exists so the fault
 // harness can put a deliberately corrupt frame on the wire.
 func (c *conn) sendRaw(line []byte) error {
+	if c.muted.Load() {
+		return nil // half-open: the bytes vanish, the socket stays up
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.to > 0 {

@@ -42,9 +42,21 @@
 //     tracked across connections by name in the coordinator's registry
 //     (CoordinatorResult.Workers).
 //   - Fault injection: WorkerOptions.Faults takes a deterministic
-//     FaultPlan that can drop the connection mid-job, stall silently, or
-//     corrupt a frame at chosen job indices — the harness the test suite
-//     uses to exercise every reassignment path.
+//     FaultPlan that can drop the connection mid-job, stall silently, go
+//     half-open (TCP up, every send swallowed), or corrupt a frame at
+//     chosen job indices — the harness the test suite uses to exercise
+//     every reassignment path. CoordinatorFaultPlan is the primary-side
+//     counterpart: an abrupt in-process SIGKILL after N commits.
+//
+// # Coordinator failover
+//
+// RunHA runs a coordinator as one half of a hot-standby pair: lease
+// -based leadership with epoch fencing (Lease, HAOptions), live journal
+// replication from primary to standby over the job wire protocol, and
+// automatic promotion — a standby whose primary's lease expires resumes
+// the run from its replicated journal, and workers given both addresses
+// (Work with "addr1,addr2") re-home to it without restarting. See
+// failover.go and the "Coordinator failover" section of DESIGN.md.
 package distrib
 
 import (

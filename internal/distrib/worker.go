@@ -2,9 +2,11 @@ package distrib
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,13 @@ type WorkerOptions struct {
 	// (default 250ms), doubled per consecutive failure, capped at 10s,
 	// with up to 50% seeded jitter added.
 	ReconnectBackoff time.Duration
+	// ReconnectTimeout is the total wall-clock retry budget for one
+	// outage: once connectivity is first lost, the worker must complete
+	// a job within this window or give up with an error. It caps the
+	// whole retry loop — failed dials, standby contacts, and backoff
+	// sleeps all count — where MaxReconnects only counts failed cycles.
+	// The window resets every time a job completes. 0 means no budget.
+	ReconnectTimeout time.Duration
 	// Faults, when non-nil, injects deterministic failures for tests —
 	// see FaultPlan.
 	Faults *FaultPlan
@@ -41,13 +50,22 @@ type WorkerOptions struct {
 type worker struct {
 	opts WorkerOptions
 	jobs int // global job index across reconnects (drives the FaultPlan)
+	// maxEpoch is the highest coordinator lease epoch served so far; a
+	// coordinator presenting a lower one is a deposed primary and is
+	// refused (the split-brain fence).
+	maxEpoch int64
 }
 
-// Work connects to the coordinator at addr and processes jobs until the
+// Work connects to the coordinator(s) at addr — a single address, or a
+// comma-separated primary,standby list — and processes jobs until a
 // coordinator sends stop or ctx is cancelled. If MaxReconnects is set,
-// a lost connection is retried with exponential backoff and jitter; the
-// job counter (and therefore the fault plan) continues across
-// reconnects. It returns the total number of jobs completed.
+// a lost connection is retried with exponential backoff and jitter,
+// rotating through the addresses; the job counter (and therefore the
+// fault plan) continues across reconnects. Reaching a coordinator that
+// answers as standby is not a failure: the worker rotates on without
+// charging its reconnect budget, so during a failover it keeps probing
+// both endpoints until one of them holds the lease (bounded only by
+// ReconnectTimeout). It returns the total number of jobs completed.
 func Work(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
 	if opts.Cores == 0 {
 		opts.Cores = 1
@@ -55,12 +73,23 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
 	if opts.ReconnectBackoff == 0 {
 		opts.ReconnectBackoff = 250 * time.Millisecond
 	}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return 0, fmt.Errorf("distrib: worker needs at least one coordinator address")
+	}
 	w := &worker{opts: opts}
 	rng := rand.New(rand.NewSource(opts.Faults.seed()))
 	total := 0
 	failures := 0
+	target := 0
+	var outageStart time.Time // first failed cycle of the current outage
 	for {
-		n, stopped, err := w.session(ctx, addr)
+		n, stopped, err := w.session(ctx, addrs[target%len(addrs)])
 		total += n
 		if stopped {
 			return total, nil
@@ -73,13 +102,30 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) (int, error) {
 		}
 		if n > 0 {
 			failures = 0
+			outageStart = time.Time{}
 		}
-		failures++
-		if failures > opts.MaxReconnects {
-			return total, fmt.Errorf("distrib: worker giving up after %d reconnect attempts: %w",
-				opts.MaxReconnects, err)
+		if outageStart.IsZero() {
+			outageStart = time.Now()
 		}
-		delay := backoffDelay(opts.ReconnectBackoff, failures, rng)
+		if opts.ReconnectTimeout > 0 && time.Since(outageStart) >= opts.ReconnectTimeout {
+			return total, fmt.Errorf("distrib: worker reconnect budget %v exhausted: %w",
+				opts.ReconnectTimeout, err)
+		}
+		target++ // try the next coordinator in the list
+		var delay time.Duration
+		if errors.Is(err, errStandby) {
+			// The coordinator is alive but not the leader; during a
+			// failover this resolves within one lease TTL, so probe at
+			// the flat base cadence instead of backing off.
+			delay = opts.ReconnectBackoff
+		} else {
+			failures++
+			if failures > opts.MaxReconnects {
+				return total, fmt.Errorf("distrib: worker giving up after %d reconnect attempts: %w",
+					opts.MaxReconnects, err)
+			}
+			delay = backoffDelay(opts.ReconnectBackoff, failures, rng)
+		}
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -134,12 +180,34 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 			return jobs, false, err
 		}
 		switch m.Type {
+		case "welcome":
+			// The coordinator announces its role and lease epoch before
+			// any job. (A coordinator predating the handshake sends jobs
+			// directly; that is still accepted.)
+			if m.Role == RoleStandby {
+				return jobs, false, errStandby
+			}
+			if err := w.checkEpoch(m.Epoch); err != nil {
+				return jobs, false, err
+			}
 		case "stop":
 			return jobs, true, nil
 		case "job":
+			if err := w.checkEpoch(m.Epoch); err != nil {
+				return jobs, false, err
+			}
 			idx := w.jobs
 			w.jobs++
 			f := w.opts.Faults.eventAt(idx)
+			if f != nil && f.Kind == FaultHalfOpen {
+				// From here the TCP connection stays up but everything
+				// this worker sends — heartbeats and results alike —
+				// silently vanishes. Only the coordinator's heartbeat
+				// grace can notice; it evicts the conn, and the worker's
+				// next read fails, ending the session normally.
+				wc.mute(true)
+				f = nil
+			}
 			if f != nil && f.Kind.transport() {
 				done, ferr := w.inject(ctx, wc, f)
 				if done {
@@ -179,6 +247,20 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 			return jobs, false, fmt.Errorf("distrib: unexpected message %q", m.Type)
 		}
 	}
+}
+
+// checkEpoch enforces the split-brain fence: a coordinator presenting
+// a lease epoch below one this worker has already served is a deposed
+// primary and is refused for good. Epochs only ratchet upward.
+func (w *worker) checkEpoch(epoch int64) error {
+	if epoch < w.maxEpoch {
+		return fmt.Errorf("%w: presented epoch %d, already served epoch %d",
+			ErrStaleEpoch, epoch, w.maxEpoch)
+	}
+	if epoch > w.maxEpoch {
+		w.maxEpoch = epoch
+	}
+	return nil
 }
 
 // inject applies one fault event. done means the session is over.

@@ -323,18 +323,23 @@ func readRecord(r io.Reader) (typ byte, body []byte, size int, err error) {
 	return payload[1], payload[2:], 8 + int(length), nil
 }
 
-// appendRecord frames and writes one record; the caller syncs.
-func (j *Journal) appendRecord(typ byte, body []byte) error {
-	payload := make([]byte, 0, 2+len(body))
+// frameRecord builds one complete on-disk record: 8-byte header
+// (length + CRC32C) followed by the versioned payload. The same bytes
+// are valid in the journal file and on the replication stream, so a
+// standby's copy is byte-identical to the primary's.
+func frameRecord(typ byte, body []byte) []byte {
+	payload := make([]byte, 0, 10+len(body))
+	payload = append(payload, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	payload = append(payload, recVersion, typ)
 	payload = append(payload, body...)
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
-	if _, err := j.f.Write(frame[:]); err != nil {
-		return err
-	}
-	_, err := j.f.Write(payload)
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(payload)-8))
+	binary.LittleEndian.PutUint32(payload[4:8], crc32.Checksum(payload[8:], castagnoli))
+	return payload
+}
+
+// appendRecord frames and writes one record; the caller syncs.
+func (j *Journal) appendRecord(typ byte, body []byte) error {
+	_, err := j.f.Write(frameRecord(typ, body))
 	return err
 }
 

@@ -1,0 +1,214 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Streaming replication of the journal.
+//
+// A record's on-disk framing ([4B length][4B CRC32C][payload]) doubles
+// as its wire framing: MarshalManifest / MarshalChunk produce one
+// complete frame, UnmarshalRecord parses one back, and StreamWriter /
+// StreamReader move a sequence of frames over any byte stream. A
+// standby coordinator applies each received frame verbatim to a local
+// Replica file, so its copy of the journal is byte-identical to the
+// primary's and — after a failover — resumes through the exact same
+// Open path (manifest check, torn-tail truncation) as a cold restart.
+
+// MarshalManifest encodes one manifest record in the journal's framed
+// format (length + CRC32C + versioned payload).
+func MarshalManifest(m Manifest) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return frameRecord(recManifest, body), nil
+}
+
+// MarshalChunk encodes one chunk record in the journal's framed format.
+func MarshalChunk(rec ChunkRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return frameRecord(recChunk, body), nil
+}
+
+// UnmarshalRecord parses one framed record as produced by
+// MarshalManifest / MarshalChunk. Exactly one of the returned pointers
+// is non-nil. Trailing bytes after the frame, a CRC mismatch, or an
+// unknown record type are errors: a replication frame is applied
+// whole or not at all.
+func UnmarshalRecord(frame []byte) (*Manifest, *ChunkRecord, error) {
+	r := bytes.NewReader(frame)
+	typ, body, n, err := readRecord(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n != len(frame) {
+		return nil, nil, fmt.Errorf("journal: %d trailing bytes after record", len(frame)-n)
+	}
+	switch typ {
+	case recManifest:
+		var m Manifest
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, nil, fmt.Errorf("journal: manifest: %w", err)
+		}
+		return &m, nil, nil
+	case recChunk:
+		var rec ChunkRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return nil, nil, fmt.Errorf("journal: chunk record: %w", err)
+		}
+		return nil, &rec, nil
+	}
+	return nil, nil, fmt.Errorf("journal: unknown record type %d", typ)
+}
+
+// StreamWriter emits framed journal records to an io.Writer — the
+// sending half of live replication. It writes no file magic: the
+// receiving Replica owns its local file layout.
+type StreamWriter struct {
+	w io.Writer
+}
+
+// NewStreamWriter wraps w.
+func NewStreamWriter(w io.Writer) *StreamWriter { return &StreamWriter{w: w} }
+
+// WriteManifest emits one manifest record.
+func (s *StreamWriter) WriteManifest(m Manifest) error {
+	frame, err := MarshalManifest(m)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(frame)
+	return err
+}
+
+// WriteChunk emits one chunk record.
+func (s *StreamWriter) WriteChunk(rec ChunkRecord) error {
+	frame, err := MarshalChunk(rec)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(frame)
+	return err
+}
+
+// StreamReader parses framed journal records from an io.Reader — the
+// receiving half of live replication. Next returns records in order; a
+// torn or corrupt frame ends the stream with an error, after which the
+// reader must be discarded (replication falls back to the durable
+// local copy, never resynchronises past corruption).
+type StreamReader struct {
+	r io.Reader
+}
+
+// NewStreamReader wraps r.
+func NewStreamReader(r io.Reader) *StreamReader { return &StreamReader{r: r} }
+
+// Next reads one record; exactly one of the returned pointers is
+// non-nil. io.EOF marks a clean end of stream.
+func (s *StreamReader) Next() (*Manifest, *ChunkRecord, error) {
+	typ, body, _, err := readRecord(s.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch typ {
+	case recManifest:
+		var m Manifest
+		if jerr := json.Unmarshal(body, &m); jerr != nil {
+			return nil, nil, fmt.Errorf("journal: manifest: %w", jerr)
+		}
+		return &m, nil, nil
+	case recChunk:
+		var rec ChunkRecord
+		if jerr := json.Unmarshal(body, &rec); jerr != nil {
+			return nil, nil, fmt.Errorf("journal: chunk record: %w", jerr)
+		}
+		return nil, &rec, nil
+	}
+	return nil, nil, fmt.Errorf("journal: unknown record type %d", typ)
+}
+
+// Replica is a standby's local, durable copy of a primary's journal,
+// grown one validated frame at a time. Apply fsyncs before returning,
+// so every acknowledged frame survives a standby crash; a standby
+// killed mid-Apply leaves at most one torn tail record, which the
+// promotion path's Open repairs exactly as it would on the primary.
+type Replica struct {
+	f        *os.File
+	path     string
+	manifest *Manifest
+	records  int
+}
+
+// CreateReplica creates (or truncates) the replica file at path and
+// writes the journal magic. An existing file is discarded: the primary
+// streams its full history on connect, and the primary's journal — not
+// any stale local state — is the authority on what happened.
+func CreateReplica(path string) (*Replica, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Replica{f: f, path: path}, nil
+}
+
+// Apply validates one framed record and appends it verbatim, fsynced.
+// The first frame must be the manifest; a frame that fails its CRC or
+// arrives out of protocol is rejected without touching the file, so a
+// corrupt replication stream can never poison the local copy.
+func (r *Replica) Apply(frame []byte) error {
+	m, rec, err := UnmarshalRecord(frame)
+	if err != nil {
+		return err
+	}
+	switch {
+	case m != nil && r.manifest != nil:
+		return fmt.Errorf("journal: replica got a second manifest record")
+	case rec != nil && r.manifest == nil:
+		return fmt.Errorf("journal: replica got a chunk record before the manifest")
+	}
+	if _, err := r.f.Write(frame); err != nil {
+		return err
+	}
+	if err := r.f.Sync(); err != nil {
+		return err
+	}
+	if m != nil {
+		r.manifest = m
+	} else {
+		r.records++
+	}
+	return nil
+}
+
+// Manifest returns the replicated manifest, if one has been applied.
+func (r *Replica) Manifest() (Manifest, bool) {
+	if r.manifest == nil {
+		return Manifest{}, false
+	}
+	return *r.manifest, true
+}
+
+// Records returns the number of chunk records applied.
+func (r *Replica) Records() int { return r.records }
+
+// Path returns the replica's file path.
+func (r *Replica) Path() string { return r.path }
+
+// Close closes the file. Applied frames are already durable.
+func (r *Replica) Close() error { return r.f.Close() }
