@@ -1,7 +1,7 @@
 # Development targets. `make check` is what CI runs: the distrib layer
 # is concurrency-heavy, so everything gates on the race detector.
 
-.PHONY: build vet test test-race check
+.PHONY: build vet test test-race check bench
 
 build:
 	go build ./...
@@ -16,3 +16,9 @@ test-race:
 	go test -race -timeout 600s ./...
 
 check: build vet test-race
+
+# bench writes the perf-trajectory point for this commit: Table 2 wall
+# times plus the flight-recorder signals (conflicts, partitions,
+# progress-at-solve) as BENCH_<date>.json.
+bench:
+	go run ./cmd/experiments -only table2 -bench-out BENCH_$$(date +%Y-%m-%d).json

@@ -32,12 +32,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/prog"
 )
 
@@ -65,6 +67,9 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "leadership lease duration; bounds the failover blackout")
 		holder     = flag.String("holder", "", "this coordinator's name in the lease (default: the listen address)")
 		advertise  = flag.String("advertise", "", "address advertised in the lease for workers and the standby (default: the bound listen address)")
+		traceOut   = flag.String("trace-out", "", "write coordinator spans as JSONL to this file (workers join the trace over the wire)")
+		reportOut  = flag.String("report", "", "write the run's flight-recorder report (JSON) to this file; render with `parbmc report`")
+		snapshotIv = flag.Duration("report-snapshots", 5*time.Second, "metrics snapshot cadence captured into -report (0 disables)")
 	)
 	flag.Parse()
 	certPolicy, err := distrib.ParseCertifyPolicy(*certify)
@@ -110,13 +115,15 @@ func main() {
 				if haState == nil {
 					return health.Snapshot()
 				}
-				// HA runs report their role alongside worker health, so
-				// an operator (or a probe) can tell primary from standby.
+				// HA runs report their role alongside worker health and
+				// replication state, so one /healthz scrape answers both
+				// "who is primary" and "is failover healthy".
 				role, epoch, replicated := haState.Role()
 				return map[string]any{
 					"role":               role,
 					"epoch":              epoch,
 					"replicated_records": replicated,
+					"replication":        replicationHealth(metrics),
 					"workers":            health.Snapshot(),
 				}
 			},
@@ -132,12 +139,54 @@ func main() {
 		fmt.Printf("coordinator: metrics on http://%s/metrics\n", *metricAddr)
 	}
 
+	// The flight recorder: -trace-out streams coordinator spans as
+	// JSONL, -report additionally collects them (plus worker spans
+	// shipped back on results, per-partition progress, and periodic
+	// metrics snapshots) into one self-contained artifact.
+	var fileSink obs.Sink
+	if *traceOut != "" {
+		tf, terr := os.Create(*traceOut)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", terr)
+			os.Exit(2)
+		}
+		defer tf.Close()
+		fileSink = obs.NewJSONLSink(tf)
+	}
+	var recorder *report.Recorder
+	var spanColl *obs.CollectorSink
+	var collSink obs.Sink // stays untyped-nil unless -report is set
+	if *reportOut != "" {
+		recorder = report.NewRecorder()
+		spanColl = obs.NewCollectorSink()
+		collSink = spanColl
+	}
+	tracer := obs.NewTracer(obs.MultiSink(fileSink, collSink)).WithProc("coordinator")
+
 	// SIGTERM behaves like SIGINT: cancel the run and let committed
 	// journal records carry the progress into the next -resume run. Even
 	// an outright SIGKILL loses only uncommitted chunks — every verdict
 	// is fsynced to -journal before it is acknowledged.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if recorder != nil && metrics != nil && *snapshotIv > 0 {
+		snapCtx, snapStop := context.WithCancel(ctx)
+		defer snapStop()
+		go func() {
+			t := time.NewTicker(*snapshotIv)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapCtx.Done():
+					return
+				case <-t.C:
+					recorder.Snapshot(metrics)
+				}
+			}
+		}()
+	}
+
 	opts := distrib.CoordinatorOptions{
 		Unwind:            *unwind,
 		Contexts:          *contexts,
@@ -155,6 +204,9 @@ func main() {
 		Metrics:           metrics,
 		Health:            health,
 		Certify:           certPolicy,
+		Tracer:            tracer,
+		Report:            recorder,
+		ProgramName:       *input,
 	}
 	var res *distrib.CoordinatorResult
 	if *lease != "" {
@@ -176,6 +228,19 @@ func main() {
 		})
 	} else {
 		res, err = distrib.Coordinate(ctx, ln, p, opts)
+	}
+	// The report is written even when the run failed: a crashed or
+	// drained run is exactly when the flight recorder matters most.
+	if recorder != nil {
+		recorder.AddSpans(spanColl.Events())
+		if metrics != nil {
+			recorder.Snapshot(metrics)
+		}
+		if werr := recorder.WriteFile(*reportOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "coordinator: write report:", werr)
+		} else {
+			fmt.Printf("coordinator: run report written to %s\n", *reportOut)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -217,5 +282,25 @@ func main() {
 	}
 	if res.Verdict == core.Unsafe {
 		os.Exit(1)
+	}
+}
+
+// replicationHealth folds the registry's replication gauges into the
+// /healthz JSON: how many standbys are attached and each one's journal
+// replication lag in records.
+func replicationHealth(metrics *obs.Registry) map[string]any {
+	standbys := 0
+	for _, s := range metrics.Samples("parbmc_standbys_connected") {
+		standbys += int(s.Value)
+	}
+	lag := map[string]int64{}
+	for _, s := range metrics.Samples("parbmc_replication_lag_records") {
+		// Labels render as `standby="name"`; strip down to the name.
+		name := strings.TrimSuffix(strings.TrimPrefix(s.Labels, `standby="`), `"`)
+		lag[name] = int64(s.Value)
+	}
+	return map[string]any{
+		"standbys_connected": standbys,
+		"lag_records":        lag,
 	}
 }

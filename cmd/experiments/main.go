@@ -29,6 +29,7 @@ func main() {
 		full  = flag.Bool("full", false, "include the most expensive configurations")
 		cores = flag.String("cores", "1,2,4,8", "comma-separated core counts")
 		dot   = flag.String("dot", "", "directory for Graphviz decision graphs (fig6)")
+		bench = flag.String("bench-out", "", "write Table 2 measurements as a BENCH_<date>.json perf-trajectory file")
 	)
 	flag.Parse()
 
@@ -60,6 +61,10 @@ func main() {
 		check(err)
 		check(experiments.VerdictsConsistent(table2))
 		fmt.Fprintln(w)
+		if *bench != "" {
+			check(experiments.WriteBench(*bench, table2))
+			fmt.Fprintf(w, "bench file written to %s\n\n", *bench)
+		}
 	}
 	if run("table3") {
 		_, err = experiments.Table34(ctx, w, cfg, portfolio.StyleSharing, table2)

@@ -25,12 +25,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/flatten"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/weakmem"
 	"repro/prog"
 )
@@ -39,6 +41,11 @@ import (
 var stdout io.Writer = os.Stdout
 
 func main() {
+	// `parbmc report …` is a subcommand with its own argument shape;
+	// dispatch before flag.Parse sees the run flags.
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		os.Exit(reportMain(os.Args[2:]))
+	}
 	var (
 		input      = flag.String("i", "", "input program file")
 		benchmark  = flag.String("benchmark", "", "built-in benchmark name instead of -i")
@@ -65,6 +72,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from an existing -journal, skipping committed partitions")
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-partition wall-clock budget (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-partition solver conflict budget (0: unbounded)")
+		reportOut  = flag.String("report", "", "write the run's flight-recorder report (JSON) to this file; render with `parbmc report`")
 	)
 	flag.Parse()
 
@@ -73,7 +81,10 @@ func main() {
 		defer srv.Close()
 	}
 
-	var tracer *obs.Tracer
+	// -trace-out writes spans as JSONL; -report additionally collects
+	// them in memory so the run report embeds its own span tree. Both
+	// feed one tracer via a teed sink.
+	var fileSink obs.Sink
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
@@ -81,8 +92,17 @@ func main() {
 			os.Exit(2)
 		}
 		defer tf.Close()
-		tracer = obs.NewTracer(obs.NewJSONLSink(tf))
+		fileSink = obs.NewJSONLSink(tf)
 	}
+	var recorder *report.Recorder
+	var spanColl *obs.CollectorSink
+	var collSink obs.Sink // stays untyped-nil unless -report is set
+	if *reportOut != "" {
+		recorder = report.NewRecorder()
+		spanColl = obs.NewCollectorSink()
+		collSink = spanColl
+	}
+	tracer := obs.NewTracer(obs.MultiSink(fileSink, collSink)).WithProc("parbmc")
 
 	parseSpan := tracer.Start("parse")
 	p, err := loadProgram(*input, *benchmark)
@@ -119,6 +139,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	start := time.Now()
 	res, err := core.Verify(ctx, p, core.Options{
 		Unwind:         *unwind,
 		Contexts:       *contexts,
@@ -139,6 +160,35 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parbmc:", err)
 		os.Exit(2)
+	}
+
+	if recorder != nil {
+		name := *benchmark
+		if name == "" {
+			name = *input
+		}
+		recorder.SetManifest(report.Manifest{
+			Program: name, Unwind: *unwind, Contexts: *contexts,
+			Rounds: *rounds, Width: *width, Partitions: res.Partitions,
+			Mode: "local", TraceID: tracer.TraceID(),
+		})
+		recorder.SetVerdict(res.Verdict.String(), time.Since(start))
+		for _, inst := range res.Instances {
+			recorder.Finish(report.PartitionRow{
+				Partition:    inst.Partition,
+				Verdict:      inst.Status.String(),
+				Cause:        inst.Cause.String(),
+				Conflicts:    inst.Stats.Conflicts,
+				Propagations: inst.Stats.Propagations,
+				Progress:     inst.Stats.Progress,
+				SolveMillis:  inst.Time.Milliseconds(),
+				Certified:    res.Certified,
+			})
+		}
+		recorder.AddSpans(spanColl.Events())
+		if werr := recorder.WriteFile(*reportOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "parbmc: write report:", werr)
+		}
 	}
 
 	if *quiet {
@@ -165,9 +215,9 @@ func main() {
 			}
 			for _, inst := range res.Instances {
 				st := inst.Stats
-				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d\n",
+				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.3f\n",
 					inst.Partition, inst.Status, inst.Time,
-					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts)
+					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress)
 			}
 		}
 		if res.Verdict == core.Unsafe {

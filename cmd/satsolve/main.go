@@ -110,8 +110,8 @@ func main() {
 	// liveProgress prints one c-line per snapshot to stderr, so piping
 	// the s/v lines stays clean while a long solve shows it is alive.
 	liveProgress := func(instance int, st sat.Stats) {
-		fmt.Fprintf(os.Stderr, "c progress instance=%d decisions=%d conflicts=%d propagations=%d restarts=%d\n",
-			instance, st.Decisions, st.Conflicts, st.Propagations, st.Restarts)
+		fmt.Fprintf(os.Stderr, "c progress instance=%d decisions=%d conflicts=%d propagations=%d restarts=%d estimate=%.6f\n",
+			instance, st.Decisions, st.Conflicts, st.Propagations, st.Restarts, st.Progress)
 	}
 
 	wantProof := *proofPath != "" || *check
@@ -167,8 +167,8 @@ func main() {
 
 	if *stats {
 		for i, st := range searchStats {
-			fmt.Printf("c instance %d: decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d\n",
-				i, st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts)
+			fmt.Printf("c instance %d: decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.6f\n",
+				i, st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress)
 		}
 	}
 	switch status {

@@ -42,6 +42,7 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
 		cores     = flag.Int("cores", 1, "local solver instances per job")
 		name      = flag.String("name", "", "worker name reported to the coordinator")
+		traceOut  = flag.String("trace-out", "", "write this worker's spans as JSONL to this file (merge with `parbmc report`)")
 		reconnect = flag.Int("reconnect", 0, "max consecutive reconnect attempts after connection loss (0: exit on loss)")
 		backoff   = flag.Duration("backoff", 0, "base reconnect backoff (default 250ms)")
 		reconnTO  = flag.Duration("reconnect-timeout", 0, "total wall-clock retry budget per outage (0: unbounded)")
@@ -62,6 +63,24 @@ func main() {
 	if *pprofAddr != "" {
 		srv, _ := obs.Serve(*pprofAddr, obs.NewMux(obs.MuxOptions{Pprof: true}))
 		defer srv.Close()
+	}
+
+	// -trace-out writes this worker's span events as JSONL. Job spans
+	// adopt the coordinator's trace ID from the wire, so this file and
+	// the coordinator's merge into one tree under `parbmc report`.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+			os.Exit(2)
+		}
+		defer tf.Close()
+		proc := *name
+		if proc == "" {
+			proc = "worker"
+		}
+		tracer = obs.NewTracer(obs.NewJSONLSink(tf)).WithProc(proc)
 	}
 
 	var plan *distrib.FaultPlan
@@ -105,6 +124,7 @@ func main() {
 		ReconnectBackoff: *backoff,
 		ReconnectTimeout: *reconnTO,
 		Faults:           plan,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker: %v (after %d jobs)\n", err, jobs)

@@ -130,6 +130,11 @@ type Options struct {
 	// (unfold, flatten, encode, partition, preprocess, solve, validate)
 	// under a root "verify" span. Nil is the zero-overhead fast path.
 	Tracer *obs.Tracer
+	// Parent, when non-nil, nests the "verify" root span under it
+	// instead of starting a fresh root — distributed workers pass their
+	// per-job span here so the whole pipeline hangs off the
+	// coordinator's job span in the merged trace.
+	Parent *obs.Span
 	// Progress, when non-nil and ProgressEvery > 0, receives live
 	// per-partition search statistics every ProgressEvery conflicts
 	// while solving (from the solver goroutines).
@@ -289,10 +294,17 @@ type Result struct {
 func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, err error) {
 	opts.setDefaults()
 
-	root := opts.Tracer.Start("verify",
+	verifyAttrs := []obs.Attr{
 		obs.KV("unwind", opts.Unwind), obs.KV("contexts", opts.Contexts),
 		obs.KV("rounds", opts.Rounds), obs.KV("width", opts.Width),
-		obs.KV("cores", opts.Cores))
+		obs.KV("cores", opts.Cores),
+	}
+	var root *obs.Span
+	if opts.Parent != nil {
+		root = opts.Parent.Child("verify", verifyAttrs...)
+	} else {
+		root = opts.Tracer.Start("verify", verifyAttrs...)
+	}
 	opts.span = root
 	defer func() {
 		if err != nil {
@@ -377,6 +389,8 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		if err != nil {
 			return nil, err
 		}
+		jnl.SetTracer(opts.Tracer)
+		jnl.SetParent(root)
 		defer jnl.Close()
 	}
 

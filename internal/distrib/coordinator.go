@@ -13,6 +13,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/report"
 	"repro/internal/sat"
 	"repro/prog"
 )
@@ -77,6 +78,19 @@ type CoordinatorOptions struct {
 	// verdict is believed or journaled. The zero value is full
 	// certification; see CertifyPolicy.
 	Certify CertifyPolicy
+	// Tracer, when non-nil, opens a root "coordinate" span with one
+	// "job" child per assignment, and stamps the trace ID + job span ref
+	// onto every job message so worker spans parent under them — the
+	// cross-process flight recorder. Nil disables tracing at no cost.
+	Tracer *obs.Tracer
+	// Report, when non-nil, accumulates the run report: per-partition
+	// progress rows (fed from heartbeats and results), worker span
+	// events shipped back on results, and whatever snapshots the caller
+	// takes. Nil disables reporting at no cost.
+	Report *report.Recorder
+	// ProgramName labels the report manifest (the input path or
+	// benchmark name); the manifest always carries the program hash.
+	ProgramName string
 	// Epoch is the leadership fencing token stamped into the welcome
 	// handshake and every job (see Lease). Workers that have seen a
 	// higher epoch refuse this coordinator, so a deposed primary that
@@ -175,6 +189,8 @@ type coordinator struct {
 	jnl      *journal.Journal
 	repl     *replicator   // live journal replication fan-out; nil without a journal
 	verifier *certVerifier // nil iff certification is off
+	recorder *report.Recorder
+	root     *obs.Span // the run's "coordinate" span (nil when untraced)
 }
 
 // Coordinate serves the analysis of program p over the workers that
@@ -249,6 +265,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		if jerr != nil {
 			return nil, jerr
 		}
+		jnl.SetTracer(opts.Tracer)
 		defer jnl.Close()
 		for _, rec := range jnl.Committed() {
 			committed[partition.Chunk{From: rec.From, To: rec.To}] = rec
@@ -266,6 +283,19 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	if health == nil {
 		health = NewHealthRegistry()
 	}
+	opts.Report.SetManifest(report.Manifest{
+		Program:    opts.ProgramName,
+		ProgramSHA: journal.HashProgram(source),
+		Unwind:     opts.Unwind,
+		Contexts:   opts.Contexts,
+		Width:      opts.Width,
+		Partitions: opts.Partitions,
+		Mode:       "distributed",
+		TraceID:    opts.Tracer.TraceID(),
+	})
+	root := opts.Tracer.Start("coordinate",
+		obs.KV("partitions", opts.Partitions), obs.KV("chunks", len(chunks)),
+		obs.KV("epoch", opts.Epoch))
 	start := time.Now()
 	co := &coordinator{
 		opts:      opts,
@@ -281,7 +311,12 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		jnl:       jnl,
 		repl:      repl,
 		verifier:  verifier,
+		recorder:  opts.Report,
+		root:      root,
 	}
+	// Journal commit spans hang off the coordinate root so the merged
+	// trace tree stays single-rooted.
+	jnl.SetParent(root)
 	co.metrics.chunksTotal.Set(int64(len(chunks)))
 
 	// Replay committed verdicts; only the rest is queued for workers.
@@ -377,6 +412,8 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	}
 	co.mu.Unlock()
 	res.Wall = time.Since(start)
+	root.End(obs.KV("verdict", res.Verdict.String()))
+	co.recorder.SetVerdict(res.Verdict.String(), res.Wall)
 	if jerr != nil {
 		// A verdict the journal could not make durable must not be
 		// acknowledged: a resume would re-derive a different history.
@@ -411,7 +448,10 @@ func (co *coordinator) commitChunk(rec journal.ChunkRecord) bool {
 		co.mu.Unlock()
 		return false
 	}
+	replSpan := co.root.Child("replicate_fanout",
+		obs.KV("from", rec.From), obs.KV("to", rec.To))
 	co.repl.append(rec)
+	replSpan.End()
 	commits := co.jnl.Commits()
 	co.commitMu.Unlock()
 	co.metrics.journalCommits.Inc()
@@ -548,6 +588,13 @@ func (co *coordinator) serve(c net.Conn) {
 		co.mu.Unlock()
 		co.tracker.assigned(chunk)
 		level := co.opts.Certify.jobLevel(id)
+		// The job span is the cross-process graft point: its context
+		// rides on the wire, the worker parents its own job span under
+		// it, and the merged trace shows one tree per run.
+		jobSpan := co.root.Child("job",
+			obs.KV("job", id), obs.KV("from", chunk.From), obs.KV("to", chunk.To),
+			obs.KV("worker", key))
+		sc := jobSpan.Context()
 		job := &Message{
 			Type: "job", JobID: id, Epoch: co.opts.Epoch, Source: co.source,
 			Unwind: co.opts.Unwind, Contexts: co.opts.Contexts, Width: co.opts.Width,
@@ -556,13 +603,17 @@ func (co *coordinator) serve(c net.Conn) {
 			ChunkTimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
 			ChunkConflicts:     co.opts.ChunkConflicts,
 			Certify:            level,
+			TraceID:            sc.TraceID,
+			ParentSpan:         sc.SpanID,
 		}
 		if err := wc.send(job); err != nil {
+			jobSpan.End(obs.KV("error", err.Error()))
 			co.failChunk(chunk, key, fmt.Sprintf("send job %d to %s: %v", id, key, err))
 			return
 		}
 		reply, err := co.awaitResult(wc, id, key, hbMillis > 0)
 		if err != nil {
+			jobSpan.End(obs.KV("error", err.Error()))
 			co.failChunk(chunk, key, err.Error())
 			return
 		}
@@ -570,6 +621,7 @@ func (co *coordinator) serve(c net.Conn) {
 		// even when certification is off, to keep the stream in sync.
 		cert, err := co.readCertificate(wc, id, key, reply, hbMillis > 0)
 		if err != nil {
+			jobSpan.End(obs.KV("error", err.Error()))
 			if errors.Is(err, errCertificate) {
 				co.rejectCertificate(chunk, key, err.Error())
 				_ = wc.send(&Message{Type: "stop"})
@@ -585,12 +637,15 @@ func (co *coordinator) serve(c net.Conn) {
 		certified := false
 		if co.verifier != nil &&
 			(reply.Verdict == core.Unsafe.String() || reply.Verdict == core.Safe.String()) {
+			certSpan := jobSpan.Child("certify_verify", obs.KV("level", level))
 			dur, verr := co.verifier.verify(chunk, reply, cert, level)
+			certSpan.End(obs.KV("ok", verr == nil))
 			co.metrics.certifySeconds.Observe(dur.Seconds())
 			co.mu.Lock()
 			co.res.CertifyMillis += dur.Milliseconds()
 			co.mu.Unlock()
 			if verr != nil {
+				jobSpan.End(obs.KV("error", verr.Error()))
 				co.rejectCertificate(chunk, key, fmt.Sprintf("job %d on %s: %v", id, key, verr))
 				_ = wc.send(&Message{Type: "stop"})
 				return
@@ -606,6 +661,30 @@ func (co *coordinator) serve(c net.Conn) {
 		co.health.jobDone(key)
 		co.metrics.jobResult(key, reply.Stats, reply.SolveMillis)
 		co.recordRemoteStats(reply)
+		jobSpan.End(obs.KV("verdict", reply.Verdict), obs.KV("certified", certified))
+		// Fold the result's per-partition breakdown and the worker's
+		// shipped span events into the run report, and pin the final
+		// per-partition progress gauges (a fast job may finish between
+		// heartbeats, so the result is what guarantees the gauges exist).
+		co.recorder.AddSpans(reply.Spans)
+		for _, pp := range reply.Parts {
+			co.metrics.partProgress(pp)
+			cause := ""
+			if pp.Verdict == sat.Unknown.String() {
+				cause = reply.Cause
+			}
+			co.recorder.Finish(report.PartitionRow{
+				Partition:    pp.Partition,
+				Verdict:      pp.Verdict,
+				Worker:       key,
+				Conflicts:    pp.Conflicts,
+				Propagations: pp.Propagations,
+				Progress:     pp.Progress,
+				SolveMillis:  pp.Millis,
+				Certified:    certified,
+				Cause:        cause,
+			})
+		}
 		switch reply.Verdict {
 		case core.Unsafe.String():
 			// Commit before acknowledging: a crash after this point
@@ -720,7 +799,11 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 		case "heartbeat":
 			if reply.JobID == id {
 				co.health.touch(key)
-				co.metrics.heartbeat(key, reply.Conflicts, reply.Propagations)
+				co.metrics.heartbeat(key, reply.Conflicts, reply.Propagations, reply.Progress)
+				for _, pp := range reply.Parts {
+					co.metrics.partProgress(pp)
+					co.recorder.Progress(pp.Partition, key, pp.Conflicts, pp.Propagations, pp.Progress)
+				}
 			}
 			// A stale heartbeat from the previous job is harmless: skip.
 		case "result":

@@ -141,6 +141,10 @@ func (co *coordinator) serveReplica(wc *conn, name string) {
 	history, live := co.repl.subscribe()
 	defer co.repl.unsubscribe(live)
 	lag := co.metrics.replicationLag(name)
+	standbys := co.metrics.reg.Gauge("parbmc_standbys_connected",
+		"Standby coordinators currently attached to the replication stream.")
+	standbys.Add(1)
+	defer standbys.Add(-1)
 
 	var sent atomic.Int64
 	readerDone := make(chan struct{})
@@ -345,6 +349,15 @@ func runPrimary(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	renewDone := make(chan struct{})
 	go func() {
 		defer close(renewDone)
+		// The lease span brackets this tenure as primary; each renewal is
+		// a child, so the trace shows the leadership heartbeat alongside
+		// the work it fences. Nil-safe: untraced runs pay one nil check.
+		leaseSpan := opts.Tracer.Start("lease",
+			obs.KV("holder", ha.Holder), obs.KV("epoch", lease.Epoch()))
+		renews := 0
+		defer func() {
+			leaseSpan.End(obs.KV("renews", renews), obs.KV("deposed", deposed.Load()))
+		}()
 		t := time.NewTicker(ha.LeaseTTL / 3)
 		defer t.Stop()
 		for {
@@ -352,11 +365,16 @@ func runPrimary(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 			case <-cctx.Done():
 				return
 			case <-t.C:
-				if err := lease.Renew(); err != nil {
+				sp := leaseSpan.Child("lease_renew")
+				err := lease.Renew()
+				if err != nil {
+					sp.End(obs.KV("error", err.Error()))
 					deposed.Store(true)
 					cancel()
 					return
 				}
+				sp.End()
+				renews++
 			}
 		}
 	}()

@@ -1,6 +1,8 @@
 package distrib
 
 import (
+	"strconv"
+
 	"repro/internal/obs"
 	"repro/internal/sat"
 )
@@ -94,12 +96,28 @@ func (m *coordMetrics) jobResult(worker string, st *sat.Stats, solveMillis int64
 }
 
 // heartbeat records one live-progress heartbeat from a worker.
-func (m *coordMetrics) heartbeat(worker string, conflicts, propagations int64) {
+func (m *coordMetrics) heartbeat(worker string, conflicts, propagations int64, progress float64) {
 	m.heartbeats.Inc()
 	m.reg.Gauge("parbmc_worker_live_conflicts",
 		"Live conflict count of the worker's current job.", "worker", worker).Set(conflicts)
 	m.reg.Gauge("parbmc_worker_live_propagations",
 		"Live propagation count of the worker's current job.", "worker", worker).Set(propagations)
+	m.reg.FloatGauge("parbmc_worker_live_progress",
+		"Live search-progress estimate [0,1] of the worker's current job (minimum across its partitions).",
+		"worker", worker).Set(progress)
+}
+
+// partProgress pins one partition's live search state as gauges — the
+// per-partition imbalance signal adaptive splitting will key on. Set
+// from heartbeats while the partition runs and again from the final
+// result, so even a partition solved between heartbeats gets a gauge.
+func (m *coordMetrics) partProgress(pp PartProgress) {
+	part := strconv.Itoa(pp.Partition)
+	m.reg.FloatGauge("parbmc_partition_progress",
+		"Latest search-progress estimate [0,1] per partition.",
+		"partition", part).Set(pp.Progress)
+	m.reg.Gauge("parbmc_partition_conflicts",
+		"Latest conflict count per partition.", "partition", part).Set(pp.Conflicts)
 }
 
 // workerCertRejected charges one rejected certificate to a worker.

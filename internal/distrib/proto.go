@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -69,6 +70,13 @@ type Message struct {
 	// job's result: "full" (UNSAFE model + per-partition UNSAT proofs),
 	// "model" (UNSAFE model only), or "off"/"" (none).
 	Certify string `json:"certify,omitempty"`
+	// TraceID / ParentSpan propagate the coordinator's trace across the
+	// process boundary: the worker joins TraceID and parents its job
+	// span under ParentSpan (an obs span ref, "proc/id"), so per-process
+	// span files merge into one tree. Empty when the coordinator is
+	// untraced.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 
 	// Result fields. SolveMillis is the solver's share of Millis, and
 	// Stats aggregates the job's per-partition search statistics, so
@@ -106,8 +114,36 @@ type Message struct {
 	// Heartbeat live-progress fields: cumulative conflicts and
 	// propagations across the job's solver instances so far, snapshotted
 	// by the solver progress hook while the job is still running.
-	Conflicts    int64 `json:"conflicts,omitempty"`
-	Propagations int64 `json:"propagations,omitempty"`
+	// Progress is the job-level search-progress estimate in [0,1] — the
+	// minimum over the job's partitions, i.e. how far along its
+	// furthest-behind partition is. Parts breaks the same signal out per
+	// partition; both ride on heartbeats (live) and on the result
+	// (final), feeding the parbmc_partition_progress gauges and the run
+	// report's imbalance table.
+	Conflicts    int64          `json:"conflicts,omitempty"`
+	Propagations int64          `json:"propagations,omitempty"`
+	Progress     float64        `json:"progress,omitempty"`
+	Parts        []PartProgress `json:"parts,omitempty"`
+
+	// Spans, on a result, carries the worker's span events for this job
+	// (collected via an obs.CollectorSink), so the coordinator's run
+	// report embeds the full cross-process trace without shipping files.
+	Spans []obs.Event `json:"spans,omitempty"`
+}
+
+// PartProgress is one partition's live search state, compactly keyed for
+// heartbeat traffic.
+type PartProgress struct {
+	Partition    int     `json:"p"`
+	Conflicts    int64   `json:"c,omitempty"`
+	Propagations int64   `json:"pr,omitempty"`
+	// Progress is the partition's search-progress estimate in [0,1].
+	Progress float64 `json:"e,omitempty"`
+	// Verdict is the partition's final sat status ("SAT", "UNSAT",
+	// "UNKNOWN"); empty on heartbeats while the partition still runs.
+	Verdict string `json:"v,omitempty"`
+	// Millis is the partition's solve time (result only).
+	Millis int64 `json:"ms,omitempty"`
 }
 
 // conn wraps a TCP connection with line-delimited JSON framing. Sends

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/prog"
 )
@@ -44,6 +46,13 @@ type WorkerOptions struct {
 	// Faults, when non-nil, injects deterministic failures for tests —
 	// see FaultPlan.
 	Faults *FaultPlan
+	// Tracer, when non-nil, emits the worker's spans (job, verify
+	// pipeline, certify) to its sink — typically a JSONL file that later
+	// merges with the coordinator's via `parbmc report`. Independent of
+	// it, a job carrying a TraceID always collects its spans in memory
+	// and ships them back on the result, so the coordinator's run report
+	// is complete even when workers write no local trace file.
+	Tracer *obs.Tracer
 }
 
 // worker is the state shared across one Work call's connections.
@@ -293,10 +302,15 @@ type jobProgress struct {
 	mu           sync.Mutex
 	conflicts    map[int]int64
 	propagations map[int]int64
+	progress     map[int]float64
 }
 
 func newJobProgress() *jobProgress {
-	return &jobProgress{conflicts: make(map[int]int64), propagations: make(map[int]int64)}
+	return &jobProgress{
+		conflicts:    make(map[int]int64),
+		propagations: make(map[int]int64),
+		progress:     make(map[int]float64),
+	}
 }
 
 // update stores the latest snapshot for one partition (snapshots are
@@ -308,6 +322,7 @@ func (p *jobProgress) update(part int, st sat.Stats) {
 	p.mu.Lock()
 	p.conflicts[part] = st.Conflicts
 	p.propagations[part] = st.Propagations
+	p.progress[part] = st.Progress
 	p.mu.Unlock()
 }
 
@@ -325,6 +340,34 @@ func (p *jobProgress) totals() (conflicts, propagations int64) {
 		propagations += pr
 	}
 	return conflicts, propagations
+}
+
+// parts snapshots the live per-partition state, sorted by partition
+// index, plus the job-level progress: the minimum estimate across the
+// partitions seen so far — the job is only as far along as its
+// furthest-behind partition.
+func (p *jobProgress) parts() ([]PartProgress, float64) {
+	if p == nil {
+		return nil, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PartProgress, 0, len(p.conflicts))
+	minProg := 0.0
+	for part, c := range p.conflicts {
+		pp := PartProgress{
+			Partition:    part,
+			Conflicts:    c,
+			Propagations: p.propagations[part],
+			Progress:     p.progress[part],
+		}
+		if len(out) == 0 || pp.Progress < minProg {
+			minProg = pp.Progress
+		}
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Partition < out[j].Partition })
+	return out, minProg
 }
 
 // runJobWithHeartbeats runs the job while a side goroutine heartbeats at
@@ -350,8 +393,10 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message,
 					return
 				case <-t.C:
 					conflicts, propagations := progress.totals()
+					parts, jobProg := progress.parts()
 					hb := &Message{Type: "heartbeat", JobID: m.JobID,
-						Conflicts: conflicts, Propagations: propagations}
+						Conflicts: conflicts, Propagations: propagations,
+						Progress: jobProg, Parts: parts}
 					if err := wc.send(hb); err != nil {
 						return
 					}
@@ -359,12 +404,20 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message,
 			}
 		}()
 	}
-	reply, cert := runJob(ctx, m, w.opts.Cores, progress, f)
+	reply, cert := runJob(ctx, m, w.opts.Cores, progress, f, w.opts.Tracer, w.procName())
 	if hbStop != nil {
 		close(hbStop)
 		<-hbDone
 	}
 	return reply, cert
+}
+
+// procName is the worker's span process name ("worker" when anonymous).
+func (w *worker) procName() string {
+	if w.opts.Name != "" {
+		return w.opts.Name
+	}
+	return "worker"
 }
 
 // mutateResult applies a Byzantine fault to an honestly computed result:
@@ -425,7 +478,13 @@ func sendCert(wc *conn, jobID int, data []byte) error {
 // boundary: a solver bug (or an injected FaultPanic) becomes a
 // structured Error result instead of killing the process, so one poison
 // chunk cannot take a whole worker down.
-func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f *FaultEvent) (reply *Message, cert *Certificate) {
+//
+// When the job carries a TraceID, the worker joins the coordinator's
+// trace: a per-job tracer tees the worker's own sink (if any) with an
+// in-memory collector, the job span is parented under the
+// coordinator's wire-carried job span, the verify pipeline hangs off
+// it, and the collected events ship back on the result.
+func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f *FaultEvent, base *obs.Tracer, proc string) (reply *Message, cert *Certificate) {
 	reply = &Message{Type: "result", JobID: m.JobID, Winner: -1}
 	defer func() {
 		if r := recover(); r != nil {
@@ -437,6 +496,30 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 	if f != nil && f.Kind == FaultPanic {
 		panic(fmt.Sprintf("injected panic at job %d", f.Job))
 	}
+	jt := base
+	var coll *obs.CollectorSink
+	if m.TraceID != "" {
+		coll = obs.NewCollectorSink()
+		// The per-job proc name keeps span refs ("proc/id") unique even
+		// though each job's tracer restarts its sequence: job IDs are
+		// coordinator-unique for the run.
+		jt = obs.NewTracer(obs.MultiSink(base.Sink(), coll)).
+			WithProc(fmt.Sprintf("%s.j%d", proc, m.JobID)).
+			WithTraceID(m.TraceID)
+	} else if base != nil {
+		jt = obs.NewTracer(base.Sink()).WithProc(proc).WithTraceID(base.TraceID())
+	}
+	jobSpan := jt.StartRemote("worker_job",
+		obs.SpanContext{TraceID: m.TraceID, SpanID: m.ParentSpan},
+		obs.KV("job", m.JobID), obs.KV("from", m.From), obs.KV("to", m.To))
+	defer func() {
+		if reply.Error != "" {
+			jobSpan.End(obs.KV("error", reply.Error))
+		} else {
+			jobSpan.End(obs.KV("verdict", reply.Verdict))
+		}
+		reply.Spans = coll.Events()
+	}()
 	p, err := prog.Parse(m.Source)
 	if err != nil {
 		reply.Error = err.Error()
@@ -455,6 +538,8 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 		// Record refutation proofs when the coordinator demands full
 		// certificates; the UNSAFE model is kept in any case.
 		KeepProofs: m.Certify == CertifyFull,
+		Tracer:     jt,
+		Parent:     jobSpan,
 	}
 	if progress != nil {
 		opts.Progress = progress.update
@@ -483,16 +568,30 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 	}
 	// Aggregate the per-partition search statistics so the coordinator
 	// sees the remote search effort (load skew, conflict rates) instead
-	// of the stats dying with the worker process.
+	// of the stats dying with the worker process. The per-partition
+	// breakdown rides alongside as Parts — the final progress/imbalance
+	// rows of the coordinator's run report.
 	var agg sat.Stats
 	for _, inst := range res.Instances {
 		agg.Add(inst.Stats)
+		reply.Parts = append(reply.Parts, PartProgress{
+			Partition:    inst.Partition,
+			Conflicts:    inst.Stats.Conflicts,
+			Propagations: inst.Stats.Propagations,
+			Progress:     inst.Stats.Progress,
+			Verdict:      inst.Status.String(),
+			Millis:       inst.Time.Milliseconds(),
+		})
 	}
 	reply.Stats = &agg
+	reply.Progress = agg.Progress
 	if res.Verdict == core.Unsafe {
 		// res.Winner is the absolute partition index (the partition list
 		// keeps its original indices across the subrange).
 		reply.Winner = res.Winner
 	}
-	return reply, buildCertificate(res, m.Certify)
+	certSpan := jobSpan.Child("certify_build", obs.KV("level", m.Certify))
+	cert = buildCertificate(res, m.Certify)
+	certSpan.End()
+	return reply, cert
 }

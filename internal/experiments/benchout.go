@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// BenchEntry is one instance measurement in a BENCH_<date>.json file —
+// the perf-trajectory format: one entry per (instance, core count), so
+// successive commits' files diff structurally.
+type BenchEntry struct {
+	Instance   string  `json:"instance"`
+	Unwind     int     `json:"unwind"`
+	Contexts   int     `json:"contexts"`
+	Cores      int     `json:"cores"`
+	WallMillis int64   `json:"wall_ms"`
+	Conflicts  int64   `json:"conflicts"`
+	Partitions int     `json:"partitions"`
+	Progress   float64 `json:"progress_at_solve"`
+	Verdict    string  `json:"verdict"`
+}
+
+// BenchFile is the top-level shape of BENCH_<date>.json.
+type BenchFile struct {
+	Date    string       `json:"date"`
+	Suite   string       `json:"suite"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchEntries flattens measured Table 2 rows into bench entries.
+func BenchEntries(rows []Table2Row) []BenchEntry {
+	var out []BenchEntry
+	for _, r := range rows {
+		for _, cores := range sortedCores(r.Times) {
+			out = append(out, BenchEntry{
+				Instance:   r.Bench.Name,
+				Unwind:     r.U,
+				Contexts:   r.C,
+				Cores:      cores,
+				WallMillis: r.Times[cores].Milliseconds(),
+				Conflicts:  r.Conflicts[cores],
+				Partitions: r.Partitions[cores],
+				Progress:   r.Progress[cores],
+				Verdict:    r.Verdicts[cores].String(),
+			})
+		}
+	}
+	return out
+}
+
+// WriteBench writes the perf-trajectory file for one Table 2 run.
+func WriteBench(path string, rows []Table2Row) error {
+	bf := BenchFile{
+		Date:    time.Now().Format("2006-01-02"),
+		Suite:   "table2",
+		Entries: BenchEntries(rows),
+	}
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortedCores(times map[int]time.Duration) []int {
+	var cores []int
+	for c := range times {
+		cores = append(cores, c)
+	}
+	for i := 1; i < len(cores); i++ {
+		for j := i; j > 0 && cores[j] < cores[j-1]; j-- {
+			cores[j], cores[j-1] = cores[j-1], cores[j]
+		}
+	}
+	return cores
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func benchRows() []Table2Row {
+	return []Table2Row{
+		{
+			Cell: Cell{Bench: bench.Benchmark{Name: "fibonacci"}, U: 1, C: 3},
+			Times: map[int]time.Duration{
+				4: 250 * time.Millisecond,
+				1: 900 * time.Millisecond,
+			},
+			Verdicts:   map[int]core.Verdict{1: core.Safe, 4: core.Safe},
+			Conflicts:  map[int]int64{1: 120, 4: 180},
+			Progress:   map[int]float64{1: 1, 4: 0.75},
+			Partitions: map[int]int{1: 8, 4: 8},
+		},
+	}
+}
+
+func TestBenchEntriesSortedByCores(t *testing.T) {
+	entries := BenchEntries(benchRows())
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (one per core count)", len(entries))
+	}
+	if entries[0].Cores != 1 || entries[1].Cores != 4 {
+		t.Fatalf("cores not sorted ascending: %d, %d", entries[0].Cores, entries[1].Cores)
+	}
+	e := entries[1]
+	if e.Instance != "fibonacci" || e.Unwind != 1 || e.Contexts != 3 {
+		t.Fatalf("identity fields wrong: %+v", e)
+	}
+	if e.WallMillis != 250 || e.Conflicts != 180 || e.Partitions != 8 {
+		t.Fatalf("measurement fields wrong: %+v", e)
+	}
+	if e.Progress != 0.75 {
+		t.Fatalf("progress = %v, want 0.75", e.Progress)
+	}
+	if e.Verdict != core.Safe.String() {
+		t.Fatalf("verdict = %q, want %q", e.Verdict, core.Safe.String())
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBench(path, benchRows()); err != nil {
+		t.Fatalf("WriteBench: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if bf.Suite != "table2" {
+		t.Fatalf("suite = %q, want table2", bf.Suite)
+	}
+	if len(bf.Date) != len("2006-01-02") {
+		t.Fatalf("date = %q, want YYYY-MM-DD", bf.Date)
+	}
+	if len(bf.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(bf.Entries))
+	}
+	if bf.Entries[0].Progress != 1 {
+		t.Fatalf("progress_at_solve did not round-trip: %+v", bf.Entries[0])
+	}
+}

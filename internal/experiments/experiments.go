@@ -96,6 +96,13 @@ type Table2Row struct {
 	Vars, Clauses int
 	Times         map[int]time.Duration // cores -> wall time
 	Verdicts      map[int]core.Verdict
+	// Conflicts, Progress, and Partitions record the flight-recorder
+	// signals per core count: total solver conflicts, the
+	// progress-at-solve estimate (minimum across partitions — how far
+	// the furthest-behind partition got), and the partition count.
+	Conflicts  map[int]int64
+	Progress   map[int]float64
+	Partitions map[int]int
 }
 
 // Speedup returns times[1] / times[cores].
@@ -123,9 +130,12 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 	fmt.Fprintln(w)
 	for _, cell := range Grid(cfg.Full) {
 		row := Table2Row{
-			Cell:     cell,
-			Times:    map[int]time.Duration{},
-			Verdicts: map[int]core.Verdict{},
+			Cell:       cell,
+			Times:      map[int]time.Duration{},
+			Verdicts:   map[int]core.Verdict{},
+			Conflicts:  map[int]int64{},
+			Progress:   map[int]float64{},
+			Partitions: map[int]int{},
 		}
 		for _, cores := range cfg.Cores {
 			res, err := core.Verify(ctx, cell.Bench.Program, core.Options{
@@ -139,6 +149,20 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 			row.Vars, row.Clauses = res.Vars, res.Clauses
 			row.Times[cores] = res.SolveTime
 			row.Verdicts[cores] = res.Verdict
+			row.Partitions[cores] = res.Partitions
+			var conflicts int64
+			minProgress := -1.0
+			for _, inst := range res.Instances {
+				conflicts += inst.Stats.Conflicts
+				if minProgress < 0 || inst.Stats.Progress < minProgress {
+					minProgress = inst.Stats.Progress
+				}
+			}
+			if minProgress < 0 {
+				minProgress = 0
+			}
+			row.Conflicts[cores] = conflicts
+			row.Progress[cores] = minProgress
 		}
 		rows = append(rows, row)
 		printTable2Row(w, cfg, &row)

@@ -30,6 +30,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // magic identifies a journal file; the trailing byte is the format
@@ -146,6 +148,32 @@ type Journal struct {
 	committed []ChunkRecord
 	truncated int64 // torn-tail bytes dropped by Open (diagnostics)
 	closed    bool
+	tracer    *obs.Tracer
+	parent    *obs.Span
+}
+
+// SetTracer attaches a tracer so each Commit emits a "journal_commit"
+// span covering the append + fsync. Nil (the default) keeps the journal
+// untraced; call before commits start.
+func (j *Journal) SetTracer(t *obs.Tracer) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.tracer = t
+	j.mu.Unlock()
+}
+
+// SetParent parents the journal's spans under p (typically the run's
+// root span), keeping a traced run's tree single-rooted. Without it,
+// commit spans are emitted as roots.
+func (j *Journal) SetParent(p *obs.Span) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.parent = p
+	j.mu.Unlock()
 }
 
 // Open opens or creates the journal at path for the given manifest.
@@ -356,12 +384,25 @@ func (j *Journal) Commit(rec ChunkRecord) error {
 	if j.closed {
 		return fmt.Errorf("journal: commit on closed journal")
 	}
+	commitAttrs := []obs.Attr{
+		obs.KV("from", rec.From), obs.KV("to", rec.To),
+		obs.KV("verdict", rec.Verdict),
+	}
+	var sp *obs.Span
+	if j.parent != nil {
+		sp = j.parent.Child("journal_commit", commitAttrs...)
+	} else {
+		sp = j.tracer.Start("journal_commit", commitAttrs...)
+	}
 	if err := j.appendRecord(recChunk, body); err != nil {
+		sp.End(obs.KV("error", err.Error()))
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
+		sp.End(obs.KV("error", err.Error()))
 		return err
 	}
+	sp.End()
 	j.committed = append(j.committed, rec)
 	return nil
 }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file merges span events from several processes — the coordinator,
+// its standby, and N workers — into one tree, keyed by each span's
+// cross-process Ref ("proc/id"). Remote parent references (Event.Remote,
+// set by StartRemote from a wire-carried SpanContext) stitch the
+// per-process trees together; spans whose parent is absent from the
+// merged set surface as orphans rather than being dropped, so a
+// truncated trace file is visible instead of silently shrinking the
+// tree.
+
+// ParseJSONL reads span events from line-delimited JSON as written by
+// JSONLSink. Blank lines are skipped; a malformed line aborts with an
+// error naming its line number.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read spans: %w", err)
+	}
+	return events, nil
+}
+
+// SpanNode is one span in a merged tree with its children attached.
+type SpanNode struct {
+	Event
+	Children []*SpanNode
+}
+
+// SpanTree is the result of merging span events from one or more
+// processes. Roots are spans with no parent reference; Orphans are
+// spans whose parent reference resolves to no span in the merged set
+// (their own subtrees are intact — only the upward link is missing).
+type SpanTree struct {
+	Roots   []*SpanNode
+	Orphans []*SpanNode
+}
+
+// Merge builds one tree from span event sets (typically one slice per
+// trace file). Children are ordered by start time, then by emitting
+// process and ID for determinism between same-timestamp siblings.
+func Merge(eventSets ...[]Event) *SpanTree {
+	byRef := make(map[string]*SpanNode)
+	var all []*SpanNode
+	for _, events := range eventSets {
+		for _, e := range events {
+			n := &SpanNode{Event: e}
+			// Last writer wins on a duplicate ref; duplicates only occur
+			// when the same file is merged twice.
+			if byRef[e.Ref()] == nil {
+				all = append(all, n)
+			}
+			byRef[e.Ref()] = n
+		}
+	}
+	tree := &SpanTree{}
+	for _, n := range all {
+		n = byRef[n.Ref()]
+		switch ref := n.ParentRef(); {
+		case ref == "":
+			tree.Roots = append(tree.Roots, n)
+		case byRef[ref] != nil:
+			p := byRef[ref]
+			p.Children = append(p.Children, n)
+		default:
+			tree.Orphans = append(tree.Orphans, n)
+		}
+	}
+	sortNodes(tree.Roots)
+	sortNodes(tree.Orphans)
+	for _, n := range all {
+		sortNodes(byRef[n.Ref()].Children)
+	}
+	return tree
+}
+
+func sortNodes(nodes []*SpanNode) {
+	sort.SliceStable(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Walk visits every node of the tree (roots then orphans) in depth-first
+// order, calling fn with the node and its depth (0 for roots/orphans).
+func (t *SpanTree) Walk(fn func(n *SpanNode, depth int)) {
+	if t == nil {
+		return
+	}
+	var visit func(n *SpanNode, depth int)
+	visit = func(n *SpanNode, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			visit(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		visit(r, 0)
+	}
+	for _, o := range t.Orphans {
+		visit(o, 0)
+	}
+}
+
+// Size counts the nodes reachable from roots and orphans.
+func (t *SpanTree) Size() int {
+	n := 0
+	t.Walk(func(*SpanNode, int) { n++ })
+	return n
+}
+
+// Slowest returns the n longest-duration spans of the tree, descending.
+func (t *SpanTree) Slowest(n int) []*SpanNode {
+	var all []*SpanNode
+	t.Walk(func(node *SpanNode, _ int) { all = append(all, node) })
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].DurMicros > all[j].DurMicros
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

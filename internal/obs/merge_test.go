@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Golden multi-process merge: fixed JSONL as a coordinator and two
+// workers would write it — the workers' job spans reference the
+// coordinator's job spans via remote refs — must merge into a single
+// rooted tree with no orphans.
+const goldenCoordinator = `
+{"ts":"2026-08-08T10:00:00.000Z","span":"coordinate","id":1,"dur_us":900000,"trace":"deadbeef01234567","proc":"coordinator"}
+{"ts":"2026-08-08T10:00:00.100Z","span":"job","id":2,"parent":1,"dur_us":400000,"trace":"deadbeef01234567","proc":"coordinator","attrs":{"job":0,"worker":"w0"}}
+{"ts":"2026-08-08T10:00:00.200Z","span":"job","id":3,"parent":1,"dur_us":600000,"trace":"deadbeef01234567","proc":"coordinator","attrs":{"job":1,"worker":"w1"}}
+`
+
+const goldenWorker0 = `
+{"ts":"2026-08-08T10:00:00.150Z","span":"worker_job","id":1,"dur_us":300000,"trace":"deadbeef01234567","proc":"w0.j0","remote":"coordinator/2"}
+{"ts":"2026-08-08T10:00:00.160Z","span":"verify","id":2,"parent":1,"dur_us":280000,"trace":"deadbeef01234567","proc":"w0.j0"}
+{"ts":"2026-08-08T10:00:00.250Z","span":"solve","id":3,"parent":2,"dur_us":150000,"trace":"deadbeef01234567","proc":"w0.j0"}
+`
+
+const goldenWorker1 = `
+{"ts":"2026-08-08T10:00:00.250Z","span":"worker_job","id":1,"dur_us":500000,"trace":"deadbeef01234567","proc":"w1.j1","remote":"coordinator/3"}
+{"ts":"2026-08-08T10:00:00.260Z","span":"solve","id":2,"parent":1,"dur_us":450000,"trace":"deadbeef01234567","proc":"w1.j1"}
+`
+
+func TestMergeGoldenThreeProcesses(t *testing.T) {
+	var sets [][]Event
+	for _, blob := range []string{goldenCoordinator, goldenWorker0, goldenWorker1} {
+		events, err := ParseJSONL(strings.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, events)
+	}
+	tree := Merge(sets...)
+	if len(tree.Roots) != 1 {
+		t.Fatalf("roots: %d, want 1", len(tree.Roots))
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("orphans: %d, want 0 (%v)", len(tree.Orphans), tree.Orphans[0].Ref())
+	}
+	if got := tree.Size(); got != 8 {
+		t.Fatalf("size: %d, want 8", got)
+	}
+	root := tree.Roots[0]
+	if root.Name != "coordinate" || len(root.Children) != 2 {
+		t.Fatalf("root %q with %d children", root.Name, len(root.Children))
+	}
+	// Each coordinator job span must have exactly one worker_job child
+	// from the right worker process, stitched via the remote ref.
+	wantProc := map[int]string{0: "w0.j0", 1: "w1.j1"}
+	for i, job := range root.Children {
+		if job.Name != "job" {
+			t.Fatalf("child %d: %q, want job", i, job.Name)
+		}
+		if len(job.Children) != 1 {
+			t.Fatalf("job %d: %d children, want 1 worker_job", i, len(job.Children))
+		}
+		wj := job.Children[0]
+		if wj.Name != "worker_job" || wj.Proc != wantProc[i] {
+			t.Fatalf("job %d child: %s from %s, want worker_job from %s", i, wj.Name, wj.Proc, wantProc[i])
+		}
+	}
+	// Depth check: w0's solve span sits under verify under worker_job
+	// under job under coordinate.
+	depths := map[string]int{}
+	tree.Walk(func(n *SpanNode, depth int) { depths[n.Ref()] = depth })
+	if depths["w0.j0/3"] != 4 {
+		t.Fatalf("w0 solve depth %d, want 4", depths["w0.j0/3"])
+	}
+	if slowest := tree.Slowest(1); len(slowest) != 1 || slowest[0].Ref() != "coordinator/1" {
+		t.Fatalf("slowest: %+v", slowest)
+	}
+}
+
+// Live round trip: tracers in three "processes" linked by wire-carried
+// SpanContexts produce files that merge into one orphan-free tree —
+// the same path the real coordinator/worker binaries exercise.
+func TestMergeTracerRoundTrip(t *testing.T) {
+	var coordBuf, w0Buf, w1Buf bytes.Buffer
+	coord := NewTracer(NewJSONLSink(&coordBuf)).WithProc("coordinator")
+	root := coord.Start("coordinate")
+
+	workers := []struct {
+		buf  *bytes.Buffer
+		proc string
+	}{{&w0Buf, "w0.j0"}, {&w1Buf, "w1.j1"}}
+	for _, w := range workers {
+		job := root.Child("job")
+		sc := job.Context()
+		if sc.TraceID != coord.TraceID() {
+			t.Fatalf("context trace %q, tracer trace %q", sc.TraceID, coord.TraceID())
+		}
+		wt := NewTracer(NewJSONLSink(w.buf)).WithProc(w.proc).WithTraceID(sc.TraceID)
+		wj := wt.StartRemote("worker_job", sc)
+		wj.Child("solve").End()
+		wj.End()
+		job.End()
+	}
+	root.End()
+
+	var sets [][]Event
+	for _, buf := range []*bytes.Buffer{&coordBuf, &w0Buf, &w1Buf} {
+		events, err := ParseJSONL(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, events)
+	}
+	tree := Merge(sets...)
+	if len(tree.Roots) != 1 || len(tree.Orphans) != 0 {
+		t.Fatalf("roots=%d orphans=%d, want 1/0", len(tree.Roots), len(tree.Orphans))
+	}
+	if got := tree.Size(); got != 7 {
+		t.Fatalf("size: %d, want 7", got)
+	}
+	trace := coord.TraceID()
+	tree.Walk(func(n *SpanNode, _ int) {
+		if n.Trace != trace {
+			t.Fatalf("span %s trace %q, want %q", n.Ref(), n.Trace, trace)
+		}
+	})
+}
+
+func TestMergeMissingParentIsOrphan(t *testing.T) {
+	events := []Event{
+		{Name: "worker_job", ID: 1, Proc: "w0.j9", Remote: "coordinator/42"},
+		{Name: "solve", ID: 2, Parent: 1, Proc: "w0.j9"},
+	}
+	tree := Merge(events)
+	if len(tree.Roots) != 0 || len(tree.Orphans) != 1 {
+		t.Fatalf("roots=%d orphans=%d, want 0/1", len(tree.Roots), len(tree.Orphans))
+	}
+	// The orphan keeps its own subtree: only the upward link is missing.
+	if len(tree.Orphans[0].Children) != 1 {
+		t.Fatalf("orphan children: %d, want 1", len(tree.Orphans[0].Children))
+	}
+}
+
+func TestParseJSONLBadLine(t *testing.T) {
+	_, err := ParseJSONL(strings.NewReader("{\"span\":\"ok\",\"id\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}

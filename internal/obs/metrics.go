@@ -187,6 +187,81 @@ func (a *atomicFloat) add(v float64) {
 
 func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
 
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+// FloatGauge is a settable float64, for fractional signals such as the
+// [0,1] search-progress estimate.
+type FloatGauge struct{ v atomicFloat }
+
+// FloatGauge returns (creating if needed) the float gauge name with the
+// given label pairs. It shares the "gauge" family type, so a name must
+// be used consistently as either Gauge or FloatGauge.
+func (r *Registry) FloatGauge(name, help string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "gauge")
+	return f.get(labelString(labels), func() metric { return &FloatGauge{} }).(*FloatGauge)
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Value reads the gauge.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+func (g *FloatGauge) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, g.v.load())
+}
+
+// Sample is one series of a scalar metric family, as read back by
+// Samples: the rendered label string (`k="v",…`, "" for unlabelled) and
+// the current value.
+type Sample struct {
+	Labels string
+	Value  float64
+}
+
+// Samples reads the current values of every series in the scalar family
+// name (counter or gauge; histograms return nil), in insertion order.
+// It lets binaries fold registry state into non-Prometheus surfaces
+// such as the /healthz JSON. A nil registry or unknown name yields nil.
+func (r *Registry) Samples(name string) []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Sample
+	for _, labels := range f.order {
+		switch m := f.series[labels].(type) {
+		case *Counter:
+			out = append(out, Sample{Labels: labels, Value: float64(m.Value())})
+		case *Gauge:
+			out = append(out, Sample{Labels: labels, Value: float64(m.Value())})
+		case *FloatGauge:
+			out = append(out, Sample{Labels: labels, Value: m.Value()})
+		}
+	}
+	return out
+}
+
 // DefaultDurationBuckets are upper bounds in seconds suited to solver
 // phase and job durations (1ms … ~2min).
 var DefaultDurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 30, 120}

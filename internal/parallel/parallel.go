@@ -47,7 +47,9 @@ type InstanceResult struct {
 	Proof *sat.Proof
 	// Time is the instance's wall-clock solving time.
 	Time time.Duration
-	// Stats are the solver search statistics.
+	// Stats are the solver search statistics, including the final
+	// Stats.Progress search-progress estimate — the per-partition
+	// imbalance signal the run report and partition gauges surface.
 	Stats sat.Stats
 }
 

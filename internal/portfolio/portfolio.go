@@ -65,7 +65,9 @@ type Options struct {
 	InstanceConflicts int64
 	// Progress, when non-nil and ProgressEvery > 0, receives live
 	// search statistics for an instance every ProgressEvery conflicts,
-	// invoked from that instance's solver goroutine.
+	// invoked from that instance's solver goroutine. The snapshot's
+	// Stats.Progress field carries the instance's live search-progress
+	// estimate (sat.Solver.ProgressEstimate).
 	Progress func(instance int, st sat.Stats)
 	// ProgressEvery is the conflict cadence of Progress callbacks.
 	ProgressEvery int64

@@ -1,0 +1,379 @@
+// Package report builds the self-contained flight-recorder artifact of
+// one verification run: a manifest pinning what was verified, the
+// per-partition timeline (conflicts, propagations, search progress,
+// verdict, certification state), periodic metrics snapshots, and the
+// merged span tree. A run writes the report as one JSON file; `parbmc
+// report` renders it — with any extra per-process span files merged
+// in — as a human-readable summary whose centrepiece is the partition
+// imbalance table, the evidence base for adaptive partitioning.
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Manifest pins what one run verified and how it was split.
+type Manifest struct {
+	Program    string `json:"program,omitempty"`
+	ProgramSHA string `json:"program_sha,omitempty"`
+	Unwind     int    `json:"unwind,omitempty"`
+	Contexts   int    `json:"contexts,omitempty"`
+	Rounds     int    `json:"rounds,omitempty"`
+	Width      int    `json:"width,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	// Mode is "local" or "distributed".
+	Mode string `json:"mode,omitempty"`
+	// TraceID is the run's trace ID; span files sharing it merge into
+	// this report's tree.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// PartitionRow is one partition's final timeline entry.
+type PartitionRow struct {
+	Partition    int     `json:"partition"`
+	Verdict      string  `json:"verdict,omitempty"`
+	Cause        string  `json:"cause,omitempty"`
+	Worker       string  `json:"worker,omitempty"`
+	Conflicts    int64   `json:"conflicts,omitempty"`
+	Propagations int64   `json:"propagations,omitempty"`
+	// Progress is the partition's last search-progress estimate in
+	// [0,1] (sat.Solver.ProgressEstimate).
+	Progress    float64 `json:"progress,omitempty"`
+	SolveMillis int64   `json:"solve_millis,omitempty"`
+	Certified   bool    `json:"certified,omitempty"`
+}
+
+// Snapshot is one periodic metrics capture: the full Prometheus text
+// rendering of the run's registry at AtMillis since run start.
+type Snapshot struct {
+	AtMillis int64  `json:"at_millis"`
+	Metrics  string `json:"metrics"`
+}
+
+// Report is the complete flight-recorder artifact.
+type Report struct {
+	Manifest   Manifest       `json:"manifest"`
+	Verdict    string         `json:"verdict,omitempty"`
+	WallMillis int64          `json:"wall_millis,omitempty"`
+	Partitions []PartitionRow `json:"partitions,omitempty"`
+	Snapshots  []Snapshot     `json:"snapshots,omitempty"`
+	// Spans are the span events collected in-process during the run
+	// (coordinator-side for distributed runs, plus worker spans shipped
+	// back in result messages). Extra JSONL files merge in at render
+	// time.
+	Spans []obs.Event `json:"spans,omitempty"`
+}
+
+// Recorder accumulates a Report while a run executes. All methods are
+// nil-safe no-ops on a nil *Recorder, so instrumented paths never
+// branch on "is reporting enabled". Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	rep   Report
+	rows  map[int]*PartitionRow
+	start time.Time
+}
+
+// NewRecorder builds an empty recorder; the snapshot clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{rows: make(map[int]*PartitionRow), start: time.Now()}
+}
+
+// SetManifest records what the run verifies.
+func (r *Recorder) SetManifest(m Manifest) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Manifest = m
+	r.mu.Unlock()
+}
+
+// SetVerdict records the run outcome and wall time.
+func (r *Recorder) SetVerdict(verdict string, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Verdict = verdict
+	r.rep.WallMillis = wall.Milliseconds()
+	r.mu.Unlock()
+}
+
+func (r *Recorder) row(partition int) *PartitionRow {
+	row := r.rows[partition]
+	if row == nil {
+		row = &PartitionRow{Partition: partition}
+		r.rows[partition] = row
+	}
+	return row
+}
+
+// Progress folds a live per-partition update (heartbeat or callback)
+// into the partition's row. Counters and the progress estimate only
+// move forward, so late heartbeats cannot regress a row.
+func (r *Recorder) Progress(partition int, worker string, conflicts, propagations int64, progress float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row := r.row(partition)
+	if worker != "" {
+		row.Worker = worker
+	}
+	if conflicts > row.Conflicts {
+		row.Conflicts = conflicts
+	}
+	if propagations > row.Propagations {
+		row.Propagations = propagations
+	}
+	if progress > row.Progress {
+		row.Progress = progress
+	}
+}
+
+// Finish records a partition's final state. Zero counter values leave
+// earlier live updates in place (a solver that never hit the progress
+// cadence reports zeros, not regressions).
+func (r *Recorder) Finish(row PartitionRow) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.row(row.Partition)
+	if row.Verdict != "" {
+		cur.Verdict = row.Verdict
+	}
+	if row.Cause != "" {
+		cur.Cause = row.Cause
+	}
+	if row.Worker != "" {
+		cur.Worker = row.Worker
+	}
+	if row.Conflicts > cur.Conflicts {
+		cur.Conflicts = row.Conflicts
+	}
+	if row.Propagations > cur.Propagations {
+		cur.Propagations = row.Propagations
+	}
+	if row.Progress > cur.Progress {
+		cur.Progress = row.Progress
+	}
+	if row.SolveMillis > cur.SolveMillis {
+		cur.SolveMillis = row.SolveMillis
+	}
+	if row.Certified {
+		cur.Certified = true
+	}
+}
+
+// AddSpans appends span events (a worker's collected job spans, or the
+// run's own collector at shutdown).
+func (r *Recorder) AddSpans(events []obs.Event) {
+	if r == nil || len(events) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Spans = append(r.rep.Spans, events...)
+	r.mu.Unlock()
+}
+
+// Snapshot captures the registry's current Prometheus rendering, stamped
+// with the elapsed time since the recorder was built.
+func (r *Recorder) Snapshot(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	at := time.Since(r.start).Milliseconds()
+	r.mu.Lock()
+	r.rep.Snapshots = append(r.rep.Snapshots, Snapshot{AtMillis: at, Metrics: buf.String()})
+	r.mu.Unlock()
+}
+
+// Build assembles the report: partition rows sorted by index, spans and
+// snapshots in arrival order.
+func (r *Recorder) Build() *Report {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := r.rep
+	rep.Partitions = make([]PartitionRow, 0, len(r.rows))
+	for _, row := range r.rows {
+		rep.Partitions = append(rep.Partitions, *row)
+	}
+	sort.Slice(rep.Partitions, func(i, j int) bool {
+		return rep.Partitions[i].Partition < rep.Partitions[j].Partition
+	})
+	rep.Spans = append([]obs.Event(nil), rep.Spans...)
+	rep.Snapshots = append([]Snapshot(nil), rep.Snapshots...)
+	return &rep
+}
+
+// WriteFile writes the built report as indented JSON at path.
+func (r *Recorder) WriteFile(path string) error {
+	if r == nil {
+		return fmt.Errorf("report: nil recorder")
+	}
+	data, err := json.MarshalIndent(r.Build(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report written by Recorder.WriteFile.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Render writes the human-readable summary: manifest header, the
+// partition imbalance table, the merged span tree's shape, and the
+// slowest spans. extraSpans are additional per-process span event sets
+// (worker -trace-out files) merged into the tree alongside the report's
+// own spans.
+func Render(w io.Writer, rep *Report, extraSpans ...[]obs.Event) {
+	m := rep.Manifest
+	fmt.Fprintf(w, "Run report: %s (%s)\n", orUnknown(m.Program), orUnknown(m.Mode))
+	if m.ProgramSHA != "" {
+		fmt.Fprintf(w, "  program sha: %s\n", m.ProgramSHA)
+	}
+	fmt.Fprintf(w, "  bounds: unwind=%d contexts=%d width=%d partitions=%d\n",
+		m.Unwind, m.Contexts, m.Width, m.Partitions)
+	if m.TraceID != "" {
+		fmt.Fprintf(w, "  trace: %s\n", m.TraceID)
+	}
+	if rep.Verdict != "" {
+		fmt.Fprintf(w, "Verdict: %s in %d ms\n", rep.Verdict, rep.WallMillis)
+	}
+
+	fmt.Fprintf(w, "\nPartition imbalance (%d partitions):\n", len(rep.Partitions))
+	if len(rep.Partitions) == 0 {
+		fmt.Fprintln(w, "  (no per-partition data recorded)")
+	} else {
+		renderPartitionTable(w, rep.Partitions)
+	}
+
+	tree := obs.Merge(append([][]obs.Event{rep.Spans}, extraSpans...)...)
+	total := tree.Size()
+	fmt.Fprintf(w, "\nSpan tree: %d spans, %d roots, %d orphans\n",
+		total, len(tree.Roots), len(tree.Orphans))
+	if total > 0 {
+		fmt.Fprintln(w, "\nSlowest spans:")
+		for _, n := range tree.Slowest(8) {
+			fmt.Fprintf(w, "  %10s  %-16s %s%s\n",
+				time.Duration(n.DurMicros)*time.Microsecond, n.Name,
+				procTag(n.Proc), attrTag(n.Attrs))
+		}
+	}
+
+	if len(rep.Snapshots) > 0 {
+		last := rep.Snapshots[len(rep.Snapshots)-1]
+		fmt.Fprintf(w, "\nMetrics snapshots: %d (last at %d ms, %d series lines)\n",
+			len(rep.Snapshots), last.AtMillis, strings.Count(last.Metrics, "\n"))
+	}
+}
+
+func renderPartitionTable(w io.Writer, rows []PartitionRow) {
+	fmt.Fprintf(w, "  %9s  %-8s %-16s %10s %13s %9s %9s %s\n",
+		"partition", "verdict", "worker", "conflicts", "propagations", "progress", "solve-ms", "flags")
+	var minMs, maxMs int64 = -1, 0
+	minProg, maxProg := 1.0, 0.0
+	for _, r := range rows {
+		flags := ""
+		if r.Certified {
+			flags = "certified"
+		}
+		if r.Cause != "" {
+			if flags != "" {
+				flags += ","
+			}
+			flags += r.Cause
+		}
+		fmt.Fprintf(w, "  %9d  %-8s %-16s %10d %13d %9.3f %9d %s\n",
+			r.Partition, orUnknown(r.Verdict), orDash(r.Worker),
+			r.Conflicts, r.Propagations, r.Progress, r.SolveMillis, flags)
+		if minMs < 0 || r.SolveMillis < minMs {
+			minMs = r.SolveMillis
+		}
+		if r.SolveMillis > maxMs {
+			maxMs = r.SolveMillis
+		}
+		if r.Progress < minProg {
+			minProg = r.Progress
+		}
+		if r.Progress > maxProg {
+			maxProg = r.Progress
+		}
+	}
+	if len(rows) > 1 {
+		ratio := "inf"
+		if minMs > 0 {
+			ratio = fmt.Sprintf("%.1f", float64(maxMs)/float64(minMs))
+		} else if maxMs == 0 {
+			ratio = "1.0"
+		}
+		fmt.Fprintf(w, "  imbalance: solve-ms max/min = %s, progress spread = %.3f\n",
+			ratio, maxProg-minProg)
+	}
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func procTag(proc string) string {
+	if proc == "" {
+		return ""
+	}
+	return "proc=" + proc
+}
+
+func attrTag(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, attrs[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestRecorderMonotonicRows(t *testing.T) {
+	r := NewRecorder()
+	r.Progress(3, "w0", 100, 1000, 0.25)
+	// A late, stale heartbeat must not regress the row.
+	r.Progress(3, "", 50, 400, 0.1)
+	r.Finish(PartitionRow{Partition: 3, Verdict: "UNSAT", Worker: "w1", SolveMillis: 12})
+	// Zero counters on Finish leave the live maxima in place.
+	rep := r.Build()
+	if len(rep.Partitions) != 1 {
+		t.Fatalf("rows: %d", len(rep.Partitions))
+	}
+	row := rep.Partitions[0]
+	if row.Conflicts != 100 || row.Propagations != 1000 || row.Progress != 0.25 {
+		t.Fatalf("regressed row: %+v", row)
+	}
+	if row.Verdict != "UNSAT" || row.Worker != "w1" || row.SolveMillis != 12 {
+		t.Fatalf("final state not applied: %+v", row)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.SetManifest(Manifest{Program: "x"})
+	r.SetVerdict("SAFE", time.Second)
+	r.Progress(0, "w", 1, 1, 0.5)
+	r.Finish(PartitionRow{Partition: 0})
+	r.AddSpans([]obs.Event{{Name: "solve"}})
+	r.Snapshot(nil)
+	if r.Build() != nil {
+		t.Fatal("nil recorder built a report")
+	}
+}
+
+func TestWriteLoadRenderRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.SetManifest(Manifest{
+		Program: "fibonacci", Unwind: 1, Contexts: 3,
+		Partitions: 2, Mode: "distributed", TraceID: "cafe",
+	})
+	r.SetVerdict("SAFE", 250*time.Millisecond)
+	r.Finish(PartitionRow{Partition: 0, Verdict: "UNSAT", Worker: "w0", Conflicts: 10, Progress: 1, SolveMillis: 5})
+	r.Finish(PartitionRow{Partition: 1, Verdict: "UNSAT", Worker: "w1", Conflicts: 40, Progress: 1, SolveMillis: 20})
+	r.AddSpans([]obs.Event{
+		{Name: "coordinate", ID: 1, Proc: "coordinator", Trace: "cafe", DurMicros: 250000},
+		{Name: "job", ID: 2, Parent: 1, Proc: "coordinator", Trace: "cafe", DurMicros: 120000},
+	})
+
+	reg := obs.NewRegistry()
+	reg.Gauge("parbmc_test_gauge", "help").Set(7)
+	r.Snapshot(reg)
+
+	path := filepath.Join(t.TempDir(), "run.report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "SAFE" || rep.WallMillis != 250 || len(rep.Partitions) != 2 {
+		t.Fatalf("round trip lost data: %+v", rep)
+	}
+	if len(rep.Snapshots) != 1 || !strings.Contains(rep.Snapshots[0].Metrics, "parbmc_test_gauge 7") {
+		t.Fatalf("snapshot lost: %+v", rep.Snapshots)
+	}
+
+	// Rendering with an extra span set that parents under the embedded
+	// job span must extend the tree without orphans.
+	extra := []obs.Event{
+		{Name: "worker_job", ID: 1, Proc: "w0.j0", Trace: "cafe", Remote: "coordinator/2", DurMicros: 100000},
+	}
+	var out bytes.Buffer
+	Render(&out, rep, extra)
+	text := out.String()
+	for _, want := range []string{
+		"Run report: fibonacci (distributed)",
+		"Verdict: SAFE in 250 ms",
+		"Partition imbalance (2 partitions):",
+		"imbalance: solve-ms max/min = 4.0, progress spread = 0.000",
+		"Span tree: 3 spans, 1 roots, 0 orphans",
+		"Slowest spans:",
+		"Metrics snapshots: 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}

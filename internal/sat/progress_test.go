@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -38,6 +39,79 @@ func TestProgressDisabledByDefault(t *testing.T) {
 	s.Progress = func(Stats) { t.Fatal("progress fired with ProgressEvery=0") }
 	if st, err := s.Solve(); err != nil || st != Unsat {
 		t.Fatalf("status %v err %v", st, err)
+	}
+}
+
+// TestProgressEstimateBounds checks the MiniSat-style estimate stays in
+// [0,1] at every snapshot and is stamped on the final stats.
+func TestProgressEstimateBounds(t *testing.T) {
+	s := NewFromFormula(pigeonhole(6), Options{ProgressEvery: 5})
+	s.Progress = func(st Stats) {
+		if st.Progress < 0 || st.Progress > 1 {
+			t.Fatalf("estimate %v out of [0,1]", st.Progress)
+		}
+	}
+	if st, err := s.Solve(); err != nil || st != Unsat {
+		t.Fatalf("status %v err %v", st, err)
+	}
+	// A finished solve has examined its whole (remaining) space: the
+	// final estimate must be present and in range.
+	if p := s.Stats().Progress; p <= 0 || p > 1 {
+		t.Fatalf("final estimate %v, want (0,1]", p)
+	}
+}
+
+func TestProgressEstimateEmptySolver(t *testing.T) {
+	s := New(0, Options{})
+	if got := s.ProgressEstimate(); got != 1 {
+		t.Fatalf("estimate with no variables: %v, want 1", got)
+	}
+}
+
+// TestProgressCallbackRaceHammer drives many concurrent solvers through
+// a shared progress callback — the shape parallel/portfolio solving
+// produces — so the race detector can see any unsynchronised access in
+// the estimator or the stats snapshot it is stamped on.
+func TestProgressCallbackRaceHammer(t *testing.T) {
+	f := pigeonhole(6)
+	var mu sync.Mutex
+	furthest := map[int]float64{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewFromFormula(f, Options{ProgressEvery: 1})
+			s.Progress = func(st Stats) {
+				if st.Progress < 0 || st.Progress > 1 {
+					t.Errorf("instance %d: estimate %v out of [0,1]", i, st.Progress)
+				}
+				mu.Lock()
+				if st.Progress > furthest[i] {
+					furthest[i] = st.Progress
+				}
+				mu.Unlock()
+			}
+			if st, err := s.Solve(); err != nil || st != Unsat {
+				t.Errorf("instance %d: status %v err %v", i, st, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(furthest) != 8 {
+		t.Fatalf("instances reporting: %d, want 8", len(furthest))
+	}
+}
+
+func TestStatsAddProgressIsMax(t *testing.T) {
+	a := Stats{Progress: 0.25}
+	a.Add(Stats{Progress: 0.75})
+	if a.Progress != 0.75 {
+		t.Fatalf("Progress after Add: %v, want max 0.75", a.Progress)
+	}
+	a.Add(Stats{Progress: 0.1})
+	if a.Progress != 0.75 {
+		t.Fatalf("Progress regressed to %v", a.Progress)
 	}
 }
 

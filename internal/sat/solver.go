@@ -112,6 +112,13 @@ type Stats struct {
 	Minimised    int64 // literals removed by conflict-clause minimisation
 	Simplified   int64 // clauses removed by the preprocessor
 	ElimVars     int64 // variables eliminated by the preprocessor
+
+	// Progress is the latest search-progress estimate in [0,1]
+	// (ProgressEstimate), refreshed at the Progress-callback cadence and
+	// when Solve returns. Unlike the counters it is a level, not a
+	// total: Add takes the maximum, reporting the furthest-along
+	// instance of an aggregate.
+	Progress float64
 }
 
 // Add accumulates o into s: counters sum, MaxDepth takes the maximum.
@@ -131,6 +138,9 @@ func (s *Stats) Add(o Stats) {
 	s.Minimised += o.Minimised
 	s.Simplified += o.Simplified
 	s.ElimVars += o.ElimVars
+	if o.Progress > s.Progress {
+		s.Progress = o.Progress
+	}
 }
 
 // Options configures a Solver.
@@ -295,6 +305,38 @@ func (s *Solver) NumVars() int { return s.numVars }
 
 // Stats returns a snapshot of the search statistics.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// ProgressEstimate is a cheap "how far along is the search" signal in
+// [0,1]: MiniSat's progress estimate, a weighted sum over the decision
+// trail where assignments at level i contribute with weight (1/V)^i
+// (V = variable count). Level-0 assignments — permanently decided —
+// dominate, so the estimate grows as the solver proves out top-level
+// facts; deeper, more speculative assignments contribute geometrically
+// less. It is not monotone (restarts and backjumps can lower it), but
+// averaged over heartbeat intervals it orders partitions by how close
+// they are to a verdict, which is the signal partition splitting keys
+// on. Must be called from the solving goroutine (it reads the trail).
+func (s *Solver) ProgressEstimate() float64 {
+	if s.numVars == 0 {
+		return 1
+	}
+	progress := 0.0
+	f := 1.0 / float64(s.numVars)
+	weight := 1.0
+	for i := 0; i <= s.decisionLevel(); i++ {
+		beg := 0
+		if i > 0 {
+			beg = s.trailLim[i-1]
+		}
+		end := len(s.trail)
+		if i < s.decisionLevel() {
+			end = s.trailLim[i]
+		}
+		progress += weight * float64(end-beg)
+		weight *= f
+	}
+	return progress / float64(s.numVars)
+}
 
 // Interrupt asynchronously cancels an in-flight Solve, which will return
 // (Unknown, ErrInterrupted). Safe to call from other goroutines.
@@ -748,6 +790,7 @@ func (s *Solver) search(conflictBudget int64) (Status, error) {
 			s.stats.Conflicts++
 			if s.Progress != nil && s.opts.ProgressEvery > 0 &&
 				s.stats.Conflicts%s.opts.ProgressEvery == 0 {
+				s.stats.Progress = s.ProgressEstimate()
 				s.Progress(s.stats)
 			}
 			if s.decisionLevel() == 0 {
@@ -812,6 +855,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) (Status, error) {
 	if !s.ok {
 		return Unsat, nil
 	}
+	// Stamp the final progress estimate so Stats() reflects where the
+	// search ended even when it finished between Progress callbacks.
+	defer func() { s.stats.Progress = s.ProgressEstimate() }()
 	s.cancelUntil(0)
 	for _, a := range assumptions {
 		if int(a.Var()) > s.numVars {
