@@ -1,7 +1,7 @@
 # Development targets. `make check` is what CI runs: the distrib layer
 # is concurrency-heavy, so everything gates on the race detector.
 
-.PHONY: build vet test test-race check bench
+.PHONY: build vet test test-race check bench bench-compare
 
 build:
 	go build ./...
@@ -22,3 +22,11 @@ check: build vet test-race
 # progress-at-solve) as BENCH_<date>.json.
 bench:
 	go run ./cmd/experiments -only table2 -bench-out BENCH_$$(date +%Y-%m-%d).json
+
+# bench-compare diffs the last two committed BENCH_*.json trajectory
+# points and fails on a >1.25x per-cell wall-time regression (or any
+# verdict flip); cells under the 250 ms noise floor are reported but
+# not gated. Run `make bench` first to add today's point; pass a fresh
+# uncommitted file with CANDIDATE=path to gate it pre-commit.
+bench-compare:
+	go run ./cmd/experiments -compare -bench-dir . -gate 1.25 $(if $(CANDIDATE),-candidate $(CANDIDATE))

@@ -70,8 +70,18 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write coordinator spans as JSONL to this file (workers join the trace over the wire)")
 		reportOut  = flag.String("report", "", "write the run's flight-recorder report (JSON) to this file; render with `parbmc report`")
 		snapshotIv = flag.Duration("report-snapshots", 5*time.Second, "metrics snapshot cadence captured into -report (0 disables)")
+		profileDir = flag.String("profile-dir", "", "capture pprof CPU+heap profiles of the coordination phase into this directory")
 	)
 	flag.Parse()
+	var profiler *obs.Profiler
+	if *profileDir != "" {
+		var perr error
+		profiler, perr = obs.NewProfiler(*profileDir, "coordinator")
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", perr)
+			os.Exit(2)
+		}
+	}
 	certPolicy, err := distrib.ParseCertifyPolicy(*certify)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -208,6 +218,10 @@ func main() {
 		Report:            recorder,
 		ProgramName:       *input,
 	}
+	// The coordinator has no local encode/solve phases: the distributed
+	// run is one "coordinate" phase (scheduling, certification, result
+	// folding), profiled as a whole.
+	profiler.StartPhase("coordinate")
 	var res *distrib.CoordinatorResult
 	if *lease != "" {
 		name := *holder
@@ -229,9 +243,16 @@ func main() {
 	} else {
 		res, err = distrib.Coordinate(ctx, ln, p, opts)
 	}
+	profiler.EndPhase("coordinate")
+	if perr := profiler.Err(); perr != nil {
+		fmt.Fprintln(os.Stderr, "coordinator: profile capture:", perr)
+	}
 	// The report is written even when the run failed: a crashed or
 	// drained run is exactly when the flight recorder matters most.
 	if recorder != nil {
+		for _, e := range profiler.Entries() {
+			recorder.AddProfiles([]report.ProfileRecord{{Phase: e.Phase, Kind: e.Kind, Path: e.Path, Bytes: e.Bytes}})
+		}
 		recorder.AddSpans(spanColl.Events())
 		if metrics != nil {
 			recorder.Snapshot(metrics)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The comparator's exit codes are the CI contract: 0 clean, 1 gate
+// violation, 2 usage error. Exercise all three through compareMain.
+func TestCompareMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := compareMain(dir, "", 1.25, 0); got != 2 {
+		t.Errorf("empty dir: exit %d, want 2", got)
+	}
+
+	write("BENCH_2026-08-01.json", `{"date":"2026-08-01","suite":"table2","entries":[
+		{"instance":"fibonacci","unwind":1,"contexts":2,"cores":1,"wall_ms":100,"conflicts":50,"verdict":"SAFE"}]}`)
+	write("BENCH_2026-08-02.json", `{"date":"2026-08-02","suite":"table2","entries":[
+		{"instance":"fibonacci","unwind":1,"contexts":2,"cores":1,"wall_ms":105,"conflicts":50,"verdict":"SAFE"}]}`)
+	if got := compareMain(dir, "", 1.25, 0); got != 0 {
+		t.Errorf("clean trajectory: exit %d, want 0", got)
+	}
+
+	// A -candidate regressing 2x beyond the gate must fail.
+	cand := filepath.Join(dir, "candidate.json")
+	if err := os.WriteFile(cand, []byte(`{"date":"2026-08-03","suite":"table2","entries":[
+		{"instance":"fibonacci","unwind":1,"contexts":2,"cores":1,"wall_ms":210,"conflicts":90,"verdict":"SAFE"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := compareMain(dir, cand, 1.25, 0); got != 1 {
+		t.Errorf("regressing candidate: exit %d, want 1", got)
+	}
+	// The same candidate passes with the gate loosened.
+	if got := compareMain(dir, cand, 3.0, 0); got != 0 {
+		t.Errorf("loose gate: exit %d, want 0", got)
+	}
+
+	if got := compareMain(dir, filepath.Join(dir, "missing.json"), 1.25, 0); got != 2 {
+		t.Errorf("missing candidate: exit %d, want 2", got)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flatten"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/weakmem"
 	"repro/prog"
@@ -73,8 +74,19 @@ func main() {
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-partition wall-clock budget (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-partition solver conflict budget (0: unbounded)")
 		reportOut  = flag.String("report", "", "write the run's flight-recorder report (JSON) to this file; render with `parbmc report`")
+		profileDir = flag.String("profile-dir", "", "capture per-phase pprof CPU+heap profiles (encode, solve) into this directory")
 	)
 	flag.Parse()
+
+	var profiler *obs.Profiler
+	if *profileDir != "" {
+		var perr error
+		profiler, perr = obs.NewProfiler(*profileDir, "parbmc")
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "parbmc:", perr)
+			os.Exit(2)
+		}
+	}
 
 	if *pprofAddr != "" {
 		srv, _ := obs.Serve(*pprofAddr, obs.NewMux(obs.MuxOptions{Pprof: true}))
@@ -156,7 +168,11 @@ func main() {
 		Resume:         *resume,
 		ChunkTimeout:   *chunkTO,
 		ChunkConflicts: *chunkConfl,
+		Profiler:       profiler,
 	})
+	if perr := profiler.Err(); perr != nil {
+		fmt.Fprintln(os.Stderr, "parbmc: profile capture:", perr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parbmc:", err)
 		os.Exit(2)
@@ -183,8 +199,11 @@ func main() {
 				Progress:     inst.Stats.Progress,
 				SolveMillis:  inst.Time.Milliseconds(),
 				Certified:    res.Certified,
+				Hardness:     inst.Hardness,
+				ConflictRate: instConflictRate(inst),
 			})
 		}
+		recorder.AddProfiles(profileRecords(profiler))
 		recorder.AddSpans(spanColl.Events())
 		if werr := recorder.WriteFile(*reportOut); werr != nil {
 			fmt.Fprintln(os.Stderr, "parbmc: write report:", werr)
@@ -215,9 +234,9 @@ func main() {
 			}
 			for _, inst := range res.Instances {
 				st := inst.Stats
-				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.3f\n",
+				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.3f hardness=%.1f\n",
 					inst.Partition, inst.Status, inst.Time,
-					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress)
+					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress, inst.Hardness)
 			}
 		}
 		if res.Verdict == core.Unsafe {
@@ -232,6 +251,26 @@ func main() {
 	if res.Verdict == core.Unsafe {
 		os.Exit(1)
 	}
+}
+
+// instConflictRate derives a whole-run conflicts/second figure for one
+// partition's solve, the denominator of its hardness score.
+func instConflictRate(inst parallel.InstanceResult) float64 {
+	if secs := inst.Time.Seconds(); secs > 0 {
+		return float64(inst.Stats.Conflicts) / secs
+	}
+	return 0
+}
+
+// profileRecords converts the profiler's capture index into report rows.
+// Nil-safe: a run without -profile-dir contributes no rows.
+func profileRecords(p *obs.Profiler) []report.ProfileRecord {
+	entries := p.Entries()
+	recs := make([]report.ProfileRecord, 0, len(entries))
+	for _, e := range entries {
+		recs = append(recs, report.ProfileRecord{Phase: e.Phase, Kind: e.Kind, Path: e.Path, Bytes: e.Bytes})
+	}
+	return recs
 }
 
 func loadProgram(input, benchmark string) (*prog.Program, error) {

@@ -61,18 +61,28 @@ func emitAndCheckProof(formula *cnf.Formula, assumptions []cnf.Lit, proof *sat.P
 
 func main() {
 	var (
-		cores     = flag.Int("cores", 1, "parallel solver instances")
-		style     = flag.String("portfolio", "sharing", "portfolio style: sharing | diverse")
-		assume    = flag.String("assume", "", "space-separated DIMACS literals to assume")
-		stats     = flag.Bool("stats", false, "print search statistics")
-		noModel   = flag.Bool("no-model", false, "suppress the v line")
-		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
-		progress  = flag.Int64("progress", 0, "print live search progress every N conflicts (0 disables)")
-		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
-		proofPath = flag.String("proof", "", "on UNSAT, write a DRAT-style refutation proof to this file (single-instance mode)")
-		check     = flag.Bool("check", false, "on UNSAT, re-parse the emitted proof and re-verify it by RUP checking (single-instance mode)")
+		cores      = flag.Int("cores", 1, "parallel solver instances")
+		style      = flag.String("portfolio", "sharing", "portfolio style: sharing | diverse")
+		assume     = flag.String("assume", "", "space-separated DIMACS literals to assume")
+		stats      = flag.Bool("stats", false, "print search statistics")
+		noModel    = flag.Bool("no-model", false, "suppress the v line")
+		maxConfl   = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
+		progress   = flag.Int64("progress", 0, "print live search progress every N conflicts (0 disables)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
+		proofPath  = flag.String("proof", "", "on UNSAT, write a DRAT-style refutation proof to this file (single-instance mode)")
+		check      = flag.Bool("check", false, "on UNSAT, re-parse the emitted proof and re-verify it by RUP checking (single-instance mode)")
+		profileDir = flag.String("profile-dir", "", "capture pprof CPU+heap profiles of the solve phase into this directory")
 	)
 	flag.Parse()
+	var profiler *obs.Profiler
+	if *profileDir != "" {
+		var perr error
+		profiler, perr = obs.NewProfiler(*profileDir, "satsolve")
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "satsolve:", perr)
+			os.Exit(2)
+		}
+	}
 	if *pprofAddr != "" {
 		srv, _ := obs.Serve(*pprofAddr, obs.NewMux(obs.MuxOptions{Pprof: true}))
 		defer srv.Close()
@@ -115,6 +125,7 @@ func main() {
 	}
 
 	wantProof := *proofPath != "" || *check
+	profiler.StartPhase("solve")
 	if *cores > 1 && len(assumptions) == 0 {
 		if wantProof {
 			// Portfolio instances exchange clauses, so no single instance's
@@ -163,6 +174,13 @@ func main() {
 				os.Exit(2)
 			}
 		}
+	}
+	profiler.EndPhase("solve")
+	if perr := profiler.Err(); perr != nil {
+		fmt.Fprintln(os.Stderr, "satsolve: profile capture:", perr)
+	}
+	for _, e := range profiler.Entries() {
+		fmt.Printf("c profile %s %s written to %s (%d bytes)\n", e.Phase, e.Kind, e.Path, e.Bytes)
 	}
 
 	if *stats {

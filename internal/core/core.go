@@ -141,6 +141,10 @@ type Options struct {
 	Progress func(partition int, st sat.Stats)
 	// ProgressEvery is the conflict cadence of Progress callbacks.
 	ProgressEvery int64
+	// Profiler, when non-nil, captures pprof CPU/heap profiles
+	// bracketing the encode (unfold+flatten+encode) and solve phases —
+	// the -profile-dir machinery. Nil is the zero-overhead fast path.
+	Profiler *obs.Profiler
 
 	// span is the enclosing span for sub-phase emission; set by Verify
 	// so EncodeProgram's phases nest under the "verify" root.
@@ -318,7 +322,11 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		phases = append(phases, PhaseTiming{Name: name, Duration: time.Since(start)})
 	}
 
+	// The profile brackets mirror the phase spans: one capture around
+	// the front half (unfold → encode), one around the solve phase.
+	opts.Profiler.StartPhase("encode")
 	enc, fp, encTiming, err := EncodeProgram(p, opts)
+	opts.Profiler.EndPhase("encode")
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +416,7 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		obs.KV("partitions", len(parts)), obs.KV("workers", opts.Cores),
 		obs.KV("vars", formula.NumVars), obs.KV("clauses", formula.NumClauses()))
 	solveStart := time.Now()
+	opts.Profiler.StartPhase("solve")
 	var pres *parallel.Result
 	switch preDecided {
 	case sat.Unsat:
@@ -431,10 +440,12 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 			pres, err = parallel.Solve(ctx, formula, parts, popts)
 		}
 		if err != nil {
+			opts.Profiler.EndPhase("solve")
 			solveSpan.End(obs.KV("error", err.Error()))
 			return nil, err
 		}
 	}
+	opts.Profiler.EndPhase("solve")
 	timePhase("solve", solveStart)
 	solveSpan.End(obs.KV("status", pres.Status.String()), obs.KV("winner", pres.Winner))
 	if simplifier != nil && pres.Status == sat.Sat {

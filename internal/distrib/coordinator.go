@@ -641,6 +641,7 @@ func (co *coordinator) serve(c net.Conn) {
 			dur, verr := co.verifier.verify(chunk, reply, cert, level)
 			certSpan.End(obs.KV("ok", verr == nil))
 			co.metrics.certifySeconds.Observe(dur.Seconds())
+			co.metrics.certifySecondsAlias.Observe(dur.Seconds())
 			co.mu.Lock()
 			co.res.CertifyMillis += dur.Milliseconds()
 			co.mu.Unlock()
@@ -668,7 +669,7 @@ func (co *coordinator) serve(c net.Conn) {
 		// heartbeats, so the result is what guarantees the gauges exist).
 		co.recorder.AddSpans(reply.Spans)
 		for _, pp := range reply.Parts {
-			co.metrics.partProgress(pp)
+			co.metrics.partResult(pp)
 			cause := ""
 			if pp.Verdict == sat.Unknown.String() {
 				cause = reply.Cause
@@ -683,6 +684,8 @@ func (co *coordinator) serve(c net.Conn) {
 				SolveMillis:  pp.Millis,
 				Certified:    certified,
 				Cause:        cause,
+				Hardness:     pp.Hardness,
+				ConflictRate: pp.ConflictRate,
 			})
 		}
 		switch reply.Verdict {
@@ -799,10 +802,11 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 		case "heartbeat":
 			if reply.JobID == id {
 				co.health.touch(key)
-				co.metrics.heartbeat(key, reply.Conflicts, reply.Propagations, reply.Progress)
+				co.metrics.heartbeat(key, reply)
 				for _, pp := range reply.Parts {
 					co.metrics.partProgress(pp)
 					co.recorder.Progress(pp.Partition, key, pp.Conflicts, pp.Propagations, pp.Progress)
+					co.recorder.Hardness(pp.Partition, pp.Hardness, pp.ConflictRate)
 				}
 			}
 			// A stale heartbeat from the previous job is harmless: skip.

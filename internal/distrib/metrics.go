@@ -28,12 +28,21 @@ type coordMetrics struct {
 	certRejected    *obs.Counter
 	certifySeconds  *obs.Histogram
 
-	remoteDecisions    *obs.Counter
-	remoteConflicts    *obs.Counter
-	remotePropagations *obs.Counter
-	remoteRestarts     *obs.Counter
-	remoteLearnt       *obs.Counter
-	solveSeconds       *obs.Histogram
+	remoteDecisions     *obs.Counter
+	remoteConflicts     *obs.Counter
+	remotePropagations  *obs.Counter
+	remoteRestarts      *obs.Counter
+	remoteLearnt        *obs.Counter
+	remoteLearntDeleted *obs.Counter
+	solveSeconds        *obs.Histogram
+	// certifySecondsAlias / solveSecondsAlias keep the pre-observatory
+	// metric names (parbmc_certify_seconds, parbmc_job_solve_seconds)
+	// alive for one release; the canonical names carry the
+	// parbmc_coordinator_ component prefix like every other coordinator
+	// metric. See README "Metrics naming".
+	certifySecondsAlias *obs.Histogram
+	solveSecondsAlias   *obs.Histogram
+	partSolveSeconds    *obs.Histogram
 }
 
 func newCoordMetrics(reg *obs.Registry) *coordMetrics {
@@ -63,8 +72,10 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Remote verdict certificates that checked out against the coordinator's own encoding."),
 		certRejected: reg.Counter("parbmc_coordinator_certificates_rejected_total",
 			"Remote verdict certificates rejected (missing, malformed, oversized, or failed verification)."),
-		certifySeconds: reg.Histogram("parbmc_certify_seconds",
-			"Per-result certificate verification wall time in seconds.", nil),
+		certifySeconds: reg.Histogram("parbmc_coordinator_certify_seconds",
+			"Per-result certificate verification wall time in seconds (fixed duration buckets).", nil),
+		certifySecondsAlias: reg.Histogram("parbmc_certify_seconds",
+			"DEPRECATED alias of parbmc_coordinator_certify_seconds; removed after one release.", nil),
 		remoteDecisions: reg.Counter("parbmc_remote_decisions_total",
 			"Solver decisions aggregated from remote job results."),
 		remoteConflicts: reg.Counter("parbmc_remote_conflicts_total",
@@ -75,12 +86,20 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Solver restarts aggregated from remote job results."),
 		remoteLearnt: reg.Counter("parbmc_remote_learnt_total",
 			"Learnt clauses aggregated from remote job results."),
-		solveSeconds: reg.Histogram("parbmc_job_solve_seconds",
-			"Per-job remote solver wall time in seconds.", nil),
+		remoteLearntDeleted: reg.Counter("parbmc_remote_learnt_deleted_total",
+			"Learnt clauses discarded by reduceDB, aggregated from remote job results."),
+		solveSeconds: reg.Histogram("parbmc_coordinator_job_solve_seconds",
+			"Per-job remote solver wall time in seconds (fixed duration buckets).", nil),
+		solveSecondsAlias: reg.Histogram("parbmc_job_solve_seconds",
+			"DEPRECATED alias of parbmc_coordinator_job_solve_seconds; removed after one release.", nil),
+		partSolveSeconds: reg.Histogram("parbmc_partition_solve_seconds",
+			"Per-partition solve wall time in seconds (fixed duration buckets), from final results.", nil),
 	}
 }
 
-// jobResult charges one completed job's remote statistics.
+// jobResult charges one completed job's remote statistics, including
+// the solver-introspection aggregates (LBD distribution, learnt-DB
+// churn) the performance observatory exports.
 func (m *coordMetrics) jobResult(worker string, st *sat.Stats, solveMillis int64) {
 	m.jobsTotal.Inc()
 	m.reg.Counter("parbmc_worker_jobs_total",
@@ -91,20 +110,55 @@ func (m *coordMetrics) jobResult(worker string, st *sat.Stats, solveMillis int64
 		m.remotePropagations.Add(st.Propagations)
 		m.remoteRestarts.Add(st.Restarts)
 		m.remoteLearnt.Add(st.Learnt)
+		m.remoteLearntDeleted.Add(st.LearntDeleted)
+		m.lbdHist(st.LBDHist)
 	}
-	m.solveSeconds.Observe(float64(solveMillis) / 1000)
+	secs := float64(solveMillis) / 1000
+	m.solveSeconds.Observe(secs)
+	m.solveSecondsAlias.Observe(secs)
 }
 
-// heartbeat records one live-progress heartbeat from a worker.
-func (m *coordMetrics) heartbeat(worker string, conflicts, propagations int64, progress float64) {
+// lbdHist folds a job's learnt-clause LBD distribution into the
+// cumulative parbmc_lbd_bucket counters (one per fixed sat.LBDBounds
+// bucket, labelled by the bucket's inclusive upper bound).
+func (m *coordMetrics) lbdHist(h sat.LBDHistogram) {
+	for i, count := range h {
+		if count == 0 {
+			continue
+		}
+		bound := "+Inf"
+		if i < len(sat.LBDBounds) {
+			bound = strconv.Itoa(sat.LBDBounds[i])
+		}
+		m.reg.Counter("parbmc_lbd_bucket",
+			"Learnt clauses per LBD bucket, aggregated from remote job results.",
+			"le", bound).Add(count)
+	}
+}
+
+// heartbeat records one live-progress heartbeat from a worker,
+// including the sampled job-level solver rates.
+func (m *coordMetrics) heartbeat(worker string, hb *Message) {
 	m.heartbeats.Inc()
 	m.reg.Gauge("parbmc_worker_live_conflicts",
-		"Live conflict count of the worker's current job.", "worker", worker).Set(conflicts)
+		"Live conflict count of the worker's current job.", "worker", worker).Set(hb.Conflicts)
 	m.reg.Gauge("parbmc_worker_live_propagations",
-		"Live propagation count of the worker's current job.", "worker", worker).Set(propagations)
+		"Live propagation count of the worker's current job.", "worker", worker).Set(hb.Propagations)
 	m.reg.FloatGauge("parbmc_worker_live_progress",
 		"Live search-progress estimate [0,1] of the worker's current job (minimum across its partitions).",
-		"worker", worker).Set(progress)
+		"worker", worker).Set(hb.Progress)
+	m.reg.FloatGauge("parbmc_worker_conflict_rate",
+		"Live conflicts/second of the worker's current job over the last heartbeat interval.",
+		"worker", worker).Set(hb.ConflictRate)
+	m.reg.FloatGauge("parbmc_worker_decision_rate",
+		"Live decisions/second of the worker's current job over the last heartbeat interval.",
+		"worker", worker).Set(hb.DecisionRate)
+	m.reg.FloatGauge("parbmc_worker_propagation_rate",
+		"Live propagations/second of the worker's current job over the last heartbeat interval.",
+		"worker", worker).Set(hb.PropagationRate)
+	m.reg.FloatGauge("parbmc_worker_hardness",
+		"Hardness score of the worker's hottest partition (conflict rate × (1 − progress slope)).",
+		"worker", worker).Set(hb.Hardness)
 }
 
 // partProgress pins one partition's live search state as gauges — the
@@ -118,6 +172,20 @@ func (m *coordMetrics) partProgress(pp PartProgress) {
 		"partition", part).Set(pp.Progress)
 	m.reg.Gauge("parbmc_partition_conflicts",
 		"Latest conflict count per partition.", "partition", part).Set(pp.Conflicts)
+	m.reg.FloatGauge("parbmc_partition_hardness",
+		"Latest hardness score per partition (conflict rate × (1 − progress slope)); the work-stealing signal.",
+		"partition", part).Set(pp.Hardness)
+	m.reg.FloatGauge("parbmc_partition_conflict_rate",
+		"Latest conflicts/second per partition.", "partition", part).Set(pp.ConflictRate)
+}
+
+// partResult records a partition's final outcome in the fixed-bucket
+// per-partition solve-time histogram.
+func (m *coordMetrics) partResult(pp PartProgress) {
+	m.partProgress(pp)
+	if pp.Millis > 0 || pp.Verdict != "" {
+		m.partSolveSeconds.Observe(float64(pp.Millis) / 1000)
+	}
 }
 
 // workerCertRejected charges one rejected certificate to a worker.

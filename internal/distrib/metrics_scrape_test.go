@@ -149,8 +149,16 @@ poll:
 	if !strings.Contains(body, `parbmc_worker_jobs_total{worker="scraped"} 4`) {
 		t.Fatalf("per-worker job series missing:\n%s", body)
 	}
-	if v, ok := metricValue(body, "parbmc_job_solve_seconds_count"); !ok || v != float64(res.Jobs) {
+	if v, ok := metricValue(body, "parbmc_coordinator_job_solve_seconds_count"); !ok || v != float64(res.Jobs) {
 		t.Fatalf("solve histogram count: got %v (present %v), want %d", v, ok, res.Jobs)
+	}
+	// The pre-observatory name survives as a deprecated alias for one
+	// release, observed in lockstep with the canonical histogram.
+	if v, ok := metricValue(body, "parbmc_job_solve_seconds_count"); !ok || v != float64(res.Jobs) {
+		t.Fatalf("deprecated solve histogram alias: got %v (present %v), want %d", v, ok, res.Jobs)
+	}
+	if v, ok := metricValue(body, "parbmc_partition_solve_seconds_count"); !ok || v <= 0 {
+		t.Fatalf("per-partition solve histogram: got %v (present %v)", v, ok)
 	}
 
 	// /healthz reflects the shared health registry.
@@ -162,6 +170,64 @@ poll:
 	resp.Body.Close()
 	if !strings.Contains(string(hb), `"scraped"`) {
 		t.Fatalf("healthz missing worker snapshot:\n%s", hb)
+	}
+}
+
+// TestPartitionHardnessExported runs a live 2-worker distributed
+// analysis and asserts the performance observatory's per-partition
+// signals land in the exposition: a parbmc_partition_hardness gauge for
+// every partition (set live from heartbeats and re-set from final
+// results, so even partitions solved between heartbeats report one),
+// plus the LBD distribution and learnt-DB churn counters aggregated
+// from remote job results.
+func TestPartitionHardnessExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(obs.NewMux(obs.MuxOptions{Registry: reg}))
+	defer srv.Close()
+
+	p := prog.MustParse(fibSrc)
+	const partitions = 4
+	addr, resCh := startCoordinator(t, p, CoordinatorOptions{
+		Unwind: 1, Contexts: 3, Partitions: partitions, ChunkSize: 1,
+		Metrics: reg,
+	})
+	var wg sync.WaitGroup
+	for _, name := range []string{"hw0", "hw1"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if _, err := Work(context.Background(), addr, WorkerOptions{Name: name, Cores: 1}); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(name)
+	}
+	res := waitResult(t, resCh)
+	wg.Wait()
+	if res.Verdict != core.Safe {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+
+	body := scrape(t, srv.URL)
+	for part := 0; part < partitions; part++ {
+		series := `parbmc_partition_hardness{partition="` + strconv.Itoa(part) + `"}`
+		if !strings.Contains(body, series) {
+			t.Errorf("missing %s in exposition", series)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("exposition:\n%s", body)
+	}
+	// The solver-introspection aggregates travel with job results: every
+	// learnt clause lands in exactly one LBD bucket.
+	var lbdTotal float64
+	for _, s := range reg.Samples("parbmc_lbd_bucket") {
+		lbdTotal += s.Value
+	}
+	if lbdTotal != float64(res.RemoteStats.Learnt) {
+		t.Errorf("lbd buckets sum to %v, want %d learnt", lbdTotal, res.RemoteStats.Learnt)
+	}
+	if v, ok := metricValue(body, "parbmc_remote_learnt_total"); !ok || v != float64(res.RemoteStats.Learnt) {
+		t.Errorf("remote learnt: exposition %v (present %v) vs result %d", v, ok, res.RemoteStats.Learnt)
 	}
 }
 

@@ -125,6 +125,15 @@ type Message struct {
 	Progress     float64        `json:"progress,omitempty"`
 	Parts        []PartProgress `json:"parts,omitempty"`
 
+	// Introspection heartbeat fields: job-level solver rates (per
+	// second, over the last heartbeat interval) and the hottest
+	// partition's live hardness score — the worker-side sampler output
+	// that feeds the coordinator's parbmc_worker_*_rate gauges.
+	ConflictRate    float64 `json:"conflict_rate,omitempty"`
+	DecisionRate    float64 `json:"decision_rate,omitempty"`
+	PropagationRate float64 `json:"propagation_rate,omitempty"`
+	Hardness        float64 `json:"hardness,omitempty"`
+
 	// Spans, on a result, carries the worker's span events for this job
 	// (collected via an obs.CollectorSink), so the coordinator's run
 	// report embeds the full cross-process trace without shipping files.
@@ -134,9 +143,9 @@ type Message struct {
 // PartProgress is one partition's live search state, compactly keyed for
 // heartbeat traffic.
 type PartProgress struct {
-	Partition    int     `json:"p"`
-	Conflicts    int64   `json:"c,omitempty"`
-	Propagations int64   `json:"pr,omitempty"`
+	Partition    int   `json:"p"`
+	Conflicts    int64 `json:"c,omitempty"`
+	Propagations int64 `json:"pr,omitempty"`
 	// Progress is the partition's search-progress estimate in [0,1].
 	Progress float64 `json:"e,omitempty"`
 	// Verdict is the partition's final sat status ("SAT", "UNSAT",
@@ -144,6 +153,15 @@ type PartProgress struct {
 	Verdict string `json:"v,omitempty"`
 	// Millis is the partition's solve time (result only).
 	Millis int64 `json:"ms,omitempty"`
+	// Hardness is the partition's hardness score (sat.Hardness): on
+	// heartbeats the live score over the last sampling interval, on
+	// results the whole-run score. Feeds parbmc_partition_hardness and
+	// the run report's hardness section — the signal surface the
+	// adaptive-partitioning coordinator will consume.
+	Hardness float64 `json:"h,omitempty"`
+	// ConflictRate is the partition's conflicts/second over the same
+	// interval.
+	ConflictRate float64 `json:"cr,omitempty"`
 }
 
 // conn wraps a TCP connection with line-delimited JSON framing. Sends

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sat"
 	"repro/prog"
 )
@@ -297,49 +298,72 @@ func (w *worker) inject(ctx context.Context, wc *conn, f *FaultEvent) (done bool
 
 // jobProgress accumulates live per-partition search statistics from the
 // solver progress hook; heartbeats read the cross-partition totals. The
-// hook fires from solver goroutines, so updates are mutex-guarded.
+// hook fires from solver goroutines, so updates are mutex-guarded. A
+// per-partition sat.Sampler piggybacks on the same snapshots, deriving
+// the live rates and hardness scores that ride on heartbeats.
 type jobProgress struct {
 	mu           sync.Mutex
 	conflicts    map[int]int64
+	decisions    map[int]int64
 	propagations map[int]int64
 	progress     map[int]float64
+	hardness     map[int]float64
+	confRate     map[int]float64
+	samplers     map[int]*sat.Sampler
 }
 
 func newJobProgress() *jobProgress {
 	return &jobProgress{
 		conflicts:    make(map[int]int64),
+		decisions:    make(map[int]int64),
 		propagations: make(map[int]int64),
 		progress:     make(map[int]float64),
+		hardness:     make(map[int]float64),
+		confRate:     make(map[int]float64),
+		samplers:     make(map[int]*sat.Sampler),
 	}
 }
 
 // update stores the latest snapshot for one partition (snapshots are
-// cumulative per instance, so last-write-wins is the right semantics).
+// cumulative per instance, so last-write-wins is the right semantics)
+// and folds it into the partition's introspection sampler.
 func (p *jobProgress) update(part int, st sat.Stats) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
+	sp := p.samplers[part]
+	if sp == nil {
+		sp = sat.NewSampler(0)
+		p.samplers[part] = sp
+	}
+	s := sp.Observe(st)
 	p.conflicts[part] = st.Conflicts
+	p.decisions[part] = st.Decisions
 	p.propagations[part] = st.Propagations
 	p.progress[part] = st.Progress
+	p.hardness[part] = s.Hardness
+	p.confRate[part] = s.ConflictRate
 	p.mu.Unlock()
 }
 
 // totals sums the latest snapshots across partitions.
-func (p *jobProgress) totals() (conflicts, propagations int64) {
+func (p *jobProgress) totals() (conflicts, decisions, propagations int64) {
 	if p == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, c := range p.conflicts {
 		conflicts += c
 	}
+	for _, d := range p.decisions {
+		decisions += d
+	}
 	for _, pr := range p.propagations {
 		propagations += pr
 	}
-	return conflicts, propagations
+	return conflicts, decisions, propagations
 }
 
 // parts snapshots the live per-partition state, sorted by partition
@@ -360,6 +384,8 @@ func (p *jobProgress) parts() ([]PartProgress, float64) {
 			Conflicts:    c,
 			Propagations: p.propagations[part],
 			Progress:     p.progress[part],
+			Hardness:     p.hardness[part],
+			ConflictRate: p.confRate[part],
 		}
 		if len(out) == 0 || pp.Progress < minProg {
 			minProg = pp.Progress
@@ -387,16 +413,34 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message,
 			defer close(hbDone)
 			t := time.NewTicker(interval)
 			defer t.Stop()
+			// The job-level sampler observes the cross-partition totals at
+			// the heartbeat cadence, deriving the per-second rates each
+			// heartbeat carries to the coordinator's rate gauges.
+			jobSampler := sat.NewSampler(0)
 			for {
 				select {
 				case <-hbStop:
 					return
 				case <-t.C:
-					conflicts, propagations := progress.totals()
+					conflicts, decisions, propagations := progress.totals()
 					parts, jobProg := progress.parts()
+					s := jobSampler.Observe(sat.Stats{
+						Conflicts: conflicts, Decisions: decisions,
+						Propagations: propagations, Progress: jobProg,
+					})
+					maxHardness := 0.0
+					for _, pp := range parts {
+						if pp.Hardness > maxHardness {
+							maxHardness = pp.Hardness
+						}
+					}
 					hb := &Message{Type: "heartbeat", JobID: m.JobID,
 						Conflicts: conflicts, Propagations: propagations,
-						Progress: jobProg, Parts: parts}
+						Progress: jobProg, Parts: parts,
+						ConflictRate:    s.ConflictRate,
+						DecisionRate:    s.DecisionRate,
+						PropagationRate: s.PropagationRate,
+						Hardness:        maxHardness}
 					if err := wc.send(hb); err != nil {
 						return
 					}
@@ -581,6 +625,8 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 			Progress:     inst.Stats.Progress,
 			Verdict:      inst.Status.String(),
 			Millis:       inst.Time.Milliseconds(),
+			Hardness:     inst.Hardness,
+			ConflictRate: instConflictRate(inst),
 		})
 	}
 	reply.Stats = &agg
@@ -594,4 +640,12 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 	cert = buildCertificate(res, m.Certify)
 	certSpan.End()
 	return reply, cert
+}
+
+// instConflictRate is an instance's whole-run conflicts/second.
+func instConflictRate(inst parallel.InstanceResult) float64 {
+	if secs := inst.Time.Seconds(); secs > 0 {
+		return float64(inst.Stats.Conflicts) / secs
+	}
+	return 0
 }

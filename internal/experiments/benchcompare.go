@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The bench-trajectory comparator: every commit that runs `make bench`
+// leaves a BENCH_<date>.json behind, and this file turns the committed
+// sequence into per-instance deltas plus a trend table — the regression
+// gate CI enforces. The comparison key is the full configuration cell
+// (instance, unwind, contexts, cores), so a per-core slowdown is visible
+// even when other core counts improved.
+
+// BenchKey identifies one measurement cell across trajectory files.
+type BenchKey struct {
+	Instance string
+	Unwind   int
+	Contexts int
+	Cores    int
+}
+
+func (k BenchKey) String() string {
+	return fmt.Sprintf("%s u=%d c=%d cores=%d", k.Instance, k.Unwind, k.Contexts, k.Cores)
+}
+
+func entryKey(e BenchEntry) BenchKey {
+	return BenchKey{Instance: e.Instance, Unwind: e.Unwind, Contexts: e.Contexts, Cores: e.Cores}
+}
+
+// NamedBench is one loaded trajectory file, tagged with its path so
+// reports can say which commit's snapshot a column came from.
+type NamedBench struct {
+	Path string
+	File BenchFile
+}
+
+// Label is the short name used in table headers: the file's embedded
+// date when present, else the basename.
+func (nb NamedBench) Label() string {
+	if nb.File.Date != "" {
+		return nb.File.Date
+	}
+	return filepath.Base(nb.Path)
+}
+
+// LoadBenchFile parses one BENCH_<date>.json.
+func LoadBenchFile(path string) (NamedBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return NamedBench{}, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return NamedBench{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return NamedBench{Path: path, File: bf}, nil
+}
+
+// LoadBenchDir loads every BENCH_*.json under dir, ordered oldest to
+// newest (by embedded date, then filename — so same-day reruns stay
+// deterministic). The returned slice is the trajectory.
+func LoadBenchDir(dir string) ([]NamedBench, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []NamedBench
+	for _, p := range paths {
+		nb, err := LoadBenchFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File.Date != out[j].File.Date {
+			return out[i].File.Date < out[j].File.Date
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}
+
+// BenchDelta is one cell's base→head comparison.
+type BenchDelta struct {
+	Key           BenchKey
+	BaseMillis    int64
+	HeadMillis    int64
+	Ratio         float64 // head/base wall time; 1.0 = unchanged
+	BaseConflicts int64
+	HeadConflicts int64
+	Verdict       string
+	VerdictFlip   bool   // base and head disagree on the verdict — always gated
+	Regressed     bool   // Ratio exceeded the gate
+	OnlyIn        string // "base" or "head" when the cell exists on one side only
+}
+
+// CompareBench diffs head against base cell-by-cell. A cell regresses
+// when head wall time exceeds base by more than the gate factor
+// (gate <= 0 disables wall-time gating); a verdict flip is always a
+// regression — a benchmark that changed its answer is a correctness
+// problem wearing a performance costume.
+//
+// minBaseMillis is the measurement noise floor: cells whose base wall
+// time is below it are reported but never wall-gated. Scheduler noise
+// on sub-floor cells swings their ratio far past any honest gate
+// (consecutive same-machine runs of a 20 ms cell differ by 2×), so
+// gating them would make the gate cry wolf; a floor of 0 still exempts
+// sub-millisecond bases, where the clock's granularity alone decides
+// the ratio.
+func CompareBench(base, head NamedBench, gate float64, minBaseMillis int64) []BenchDelta {
+	baseBy := map[BenchKey]BenchEntry{}
+	for _, e := range base.File.Entries {
+		baseBy[entryKey(e)] = e
+	}
+	headBy := map[BenchKey]BenchEntry{}
+	for _, e := range head.File.Entries {
+		headBy[entryKey(e)] = e
+	}
+
+	var keys []BenchKey
+	for k := range baseBy {
+		keys = append(keys, k)
+	}
+	for k := range headBy {
+		if _, ok := baseBy[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		if a.Unwind != b.Unwind {
+			return a.Unwind < b.Unwind
+		}
+		if a.Contexts != b.Contexts {
+			return a.Contexts < b.Contexts
+		}
+		return a.Cores < b.Cores
+	})
+
+	var out []BenchDelta
+	for _, k := range keys {
+		be, inBase := baseBy[k]
+		he, inHead := headBy[k]
+		d := BenchDelta{Key: k}
+		switch {
+		case !inHead:
+			d.OnlyIn = "base"
+			d.BaseMillis, d.BaseConflicts = be.WallMillis, be.Conflicts
+			d.Verdict = be.Verdict
+		case !inBase:
+			d.OnlyIn = "head"
+			d.HeadMillis, d.HeadConflicts = he.WallMillis, he.Conflicts
+			d.Verdict = he.Verdict
+		default:
+			d.BaseMillis, d.HeadMillis = be.WallMillis, he.WallMillis
+			d.BaseConflicts, d.HeadConflicts = be.Conflicts, he.Conflicts
+			d.Verdict = he.Verdict
+			d.VerdictFlip = be.Verdict != he.Verdict
+			if be.WallMillis > 0 {
+				d.Ratio = float64(he.WallMillis) / float64(be.WallMillis)
+			} else if he.WallMillis == 0 {
+				d.Ratio = 1
+			}
+			floor := minBaseMillis
+			if floor < 1 {
+				floor = 1
+			}
+			wallGated := gate > 0 && be.WallMillis >= floor && d.Ratio > gate
+			d.Regressed = wallGated || d.VerdictFlip
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Regressions counts the gated cells in a delta set.
+func Regressions(deltas []BenchDelta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCompare renders the full comparison report: the base→head delta
+// table, the trajectory trend table (one wall-time column per committed
+// file), and the gate verdict line. files must be the ordered
+// trajectory; the last file is head and the second-to-last is base
+// (deltas as computed by CompareBench on those two).
+func WriteCompare(w io.Writer, files []NamedBench, deltas []BenchDelta, gate float64, minBaseMillis int64) {
+	base, head := files[len(files)-2], files[len(files)-1]
+	fmt.Fprintf(w, "bench comparison: %s (base) -> %s (head), gate %.2fx", base.Label(), head.Label(), gate)
+	if minBaseMillis > 1 {
+		fmt.Fprintf(w, " (cells under %d ms not wall-gated)", minBaseMillis)
+	}
+	fmt.Fprintf(w, "\n\n")
+
+	fmt.Fprintf(w, "%-22s %2s %2s %5s %10s %10s %7s %12s  %s\n",
+		"instance", "u", "c", "cores", "base-ms", "head-ms", "ratio", "conflicts", "")
+	for _, d := range deltas {
+		switch d.OnlyIn {
+		case "base":
+			fmt.Fprintf(w, "%-22s %2d %2d %5d %10d %10s %7s %12s  dropped from head\n",
+				d.Key.Instance, d.Key.Unwind, d.Key.Contexts, d.Key.Cores, d.BaseMillis, "-", "-", "-")
+			continue
+		case "head":
+			fmt.Fprintf(w, "%-22s %2d %2d %5d %10s %10d %7s %12s  new in head\n",
+				d.Key.Instance, d.Key.Unwind, d.Key.Contexts, d.Key.Cores, "-", d.HeadMillis, "-", "-")
+			continue
+		}
+		flag := ""
+		if d.VerdictFlip {
+			flag = "VERDICT FLIP"
+		} else if d.Regressed {
+			flag = "REGRESSION"
+		}
+		fmt.Fprintf(w, "%-22s %2d %2d %5d %10d %10d %6.2fx %5d→%-6d %s\n",
+			d.Key.Instance, d.Key.Unwind, d.Key.Contexts, d.Key.Cores,
+			d.BaseMillis, d.HeadMillis, d.Ratio, d.BaseConflicts, d.HeadConflicts, flag)
+	}
+
+	if len(files) > 2 {
+		fmt.Fprintf(w, "\nwall-time trajectory (ms per file):\n")
+		writeTrend(w, files)
+	}
+
+	if n := Regressions(deltas); n > 0 {
+		fmt.Fprintf(w, "\nGATE FAILED: %d cell(s) regressed beyond %.2fx\n", n, gate)
+	} else {
+		fmt.Fprintf(w, "\ngate passed: no cell regressed beyond %.2fx\n", gate)
+	}
+}
+
+// writeTrend prints one row per cell with a wall-time column for each
+// trajectory file, so a slow creep across commits is visible even when
+// every single step stayed under the gate.
+func writeTrend(w io.Writer, files []NamedBench) {
+	// Row universe and order: first appearance across the trajectory.
+	var keys []BenchKey
+	seen := map[BenchKey]bool{}
+	for _, f := range files {
+		for _, e := range f.File.Entries {
+			k := entryKey(e)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-34s", "instance/config")
+	for _, f := range files {
+		fmt.Fprintf(w, " %12s", f.Label())
+	}
+	fmt.Fprintln(w)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-34s", k.String())
+		for _, f := range files {
+			cell := "-"
+			for _, e := range f.File.Entries {
+				if entryKey(e) == k {
+					cell = fmt.Sprintf("%d", e.WallMillis)
+					break
+				}
+			}
+			fmt.Fprintf(w, " %12s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}

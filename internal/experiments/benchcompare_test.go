@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFile(date string, entries ...BenchEntry) NamedBench {
+	return NamedBench{Path: "BENCH_" + date + ".json", File: BenchFile{Date: date, Suite: "table2", Entries: entries}}
+}
+
+func entry(inst string, cores int, wallMS, conflicts int64, verdict string) BenchEntry {
+	return BenchEntry{Instance: inst, Unwind: 1, Contexts: 2, Cores: cores, WallMillis: wallMS, Conflicts: conflicts, Verdict: verdict}
+}
+
+func TestCompareBenchDeltas(t *testing.T) {
+	base := benchFile("2026-08-01",
+		entry("fibonacci", 1, 100, 50, "SAFE"),
+		entry("fibonacci", 2, 80, 50, "SAFE"),
+		entry("safestack", 1, 200, 90, "UNSAFE"),
+		entry("boundedbuffer", 1, 0, 0, "SAFE"), // sub-ms base: never wall-gated
+		entry("dropped", 1, 10, 1, "SAFE"),
+	)
+	head := benchFile("2026-08-02",
+		entry("fibonacci", 1, 90, 48, "SAFE"),    // improved
+		entry("fibonacci", 2, 150, 70, "SAFE"),   // 1.875x: regression
+		entry("safestack", 1, 190, 90, "SAFE"),   // verdict flip
+		entry("boundedbuffer", 1, 40, 0, "SAFE"), // huge ratio but base < 1ms
+		entry("added", 1, 5, 1, "SAFE"),
+	)
+	deltas := CompareBench(base, head, 1.25, 0)
+
+	byKey := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byKey[d.Key.String()] = d
+	}
+	if d := byKey["fibonacci u=1 c=2 cores=1"]; d.Regressed || d.Ratio > 1 {
+		t.Errorf("improved cell flagged: %+v", d)
+	}
+	if d := byKey["fibonacci u=1 c=2 cores=2"]; !d.Regressed || d.VerdictFlip {
+		t.Errorf("1.875x cell not gated: %+v", d)
+	}
+	if d := byKey["safestack u=1 c=2 cores=1"]; !d.Regressed || !d.VerdictFlip {
+		t.Errorf("verdict flip not gated: %+v", d)
+	}
+	if d := byKey["boundedbuffer u=1 c=2 cores=1"]; d.Regressed {
+		t.Errorf("sub-ms base wall-gated: %+v", d)
+	}
+	if d := byKey["dropped u=1 c=2 cores=1"]; d.OnlyIn != "base" || d.Regressed {
+		t.Errorf("dropped cell mishandled: %+v", d)
+	}
+	if d := byKey["added u=1 c=2 cores=1"]; d.OnlyIn != "head" || d.Regressed {
+		t.Errorf("added cell mishandled: %+v", d)
+	}
+	if got := Regressions(deltas); got != 2 {
+		t.Errorf("Regressions = %d, want 2 (wall + verdict flip)", got)
+	}
+
+	// With the gate disabled only the verdict flip fails.
+	if got := Regressions(CompareBench(base, head, 0, 0)); got != 1 {
+		t.Errorf("gate-off Regressions = %d, want 1", got)
+	}
+
+	// The noise floor exempts the 80 ms-base 1.875x cell from wall
+	// gating, leaving only the verdict flip.
+	floored := CompareBench(base, head, 1.25, 100)
+	if got := Regressions(floored); got != 1 {
+		t.Errorf("floor-100 Regressions = %d, want 1 (verdict flip only)", got)
+	}
+	for _, d := range floored {
+		if d.Key.Instance == "fibonacci" && d.Key.Cores == 2 && d.Regressed {
+			t.Errorf("sub-floor cell wall-gated: %+v", d)
+		}
+	}
+}
+
+func TestWriteCompareGolden(t *testing.T) {
+	files := []NamedBench{
+		benchFile("2026-08-01", entry("fibonacci", 1, 100, 50, "SAFE"), entry("fibonacci", 2, 80, 40, "SAFE")),
+		benchFile("2026-08-02", entry("fibonacci", 1, 102, 50, "SAFE"), entry("fibonacci", 2, 82, 40, "SAFE")),
+		benchFile("2026-08-03", entry("fibonacci", 1, 104, 51, "SAFE"), entry("fibonacci", 2, 160, 70, "SAFE")),
+	}
+	base, head := files[1], files[2]
+	deltas := CompareBench(base, head, 1.25, 0)
+
+	var b strings.Builder
+	WriteCompare(&b, files, deltas, 1.25, 0)
+	got := trimTrailing(b.String())
+
+	want := `bench comparison: 2026-08-02 (base) -> 2026-08-03 (head), gate 1.25x
+
+instance                u  c cores    base-ms    head-ms   ratio    conflicts
+fibonacci               1  2     1        102        104   1.02x    50→51
+fibonacci               1  2     2         82        160   1.95x    40→70     REGRESSION
+
+wall-time trajectory (ms per file):
+instance/config                      2026-08-01   2026-08-02   2026-08-03
+fibonacci u=1 c=2 cores=1                   100          102          104
+fibonacci u=1 c=2 cores=2                    80           82          160
+
+GATE FAILED: 1 cell(s) regressed beyond 1.25x
+`
+	if got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// trimTrailing strips trailing spaces per line so the golden stays
+// readable (fixed-width columns pad short flag cells with blanks).
+func trimTrailing(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestWriteComparePassing(t *testing.T) {
+	files := []NamedBench{
+		benchFile("2026-08-01", entry("fibonacci", 1, 100, 50, "SAFE")),
+		benchFile("2026-08-02", entry("fibonacci", 1, 101, 50, "SAFE")),
+	}
+	deltas := CompareBench(files[0], files[1], 1.25, 0)
+	if Regressions(deltas) != 0 {
+		t.Fatalf("unexpected regressions: %+v", deltas)
+	}
+	var b strings.Builder
+	WriteCompare(&b, files, deltas, 1.25, 0)
+	if !strings.Contains(b.String(), "gate passed") {
+		t.Errorf("missing pass line:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "trajectory") {
+		t.Errorf("trend table rendered for a two-file trajectory:\n%s", b.String())
+	}
+}
+
+func TestLoadBenchDirOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of lexical order; the date field governs.
+	write := func(name, date string) {
+		nb := benchFile(date, entry("fibonacci", 1, 100, 50, "SAFE"))
+		data := `{"date":"` + date + `","suite":"table2","entries":[]}`
+		_ = nb
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_zzz.json", "2026-07-01")
+	write("BENCH_aaa.json", "2026-08-05")
+	write("BENCH_mmm.json", "2026-08-01")
+
+	files, err := LoadBenchDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dates []string
+	for _, f := range files {
+		dates = append(dates, f.File.Date)
+	}
+	want := []string{"2026-07-01", "2026-08-01", "2026-08-05"}
+	for i := range want {
+		if dates[i] != want[i] {
+			t.Fatalf("order = %v, want %v", dates, want)
+		}
+	}
+
+	// Non-bench files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files2, err := LoadBenchDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files2) != 3 {
+		t.Fatalf("len = %d, want 3", len(files2))
+	}
+}

@@ -51,6 +51,16 @@ type InstanceResult struct {
 	// Stats.Progress search-progress estimate — the per-partition
 	// imbalance signal the run report and partition gauges surface.
 	Stats sat.Stats
+	// Hardness is the whole-run hardness score of this instance
+	// (sat.Hardness over the full solve: conflict rate scaled by the
+	// unrealised progress slope). Zero for resumed, cancelled-before-
+	// start, or conflict-free instances.
+	Hardness float64
+	// Samples is the introspection time-series collected at the
+	// Progress-callback cadence (nil unless Options.Progress and
+	// ProgressEvery armed the solver; bounded to the most recent
+	// sat.DefaultSamplerPoints points).
+	Samples []sat.Sample
 }
 
 // Result is the aggregate outcome.
@@ -124,11 +134,20 @@ type Options struct {
 	ProgressEvery int64
 }
 
-// instrument arms one solver instance with the live progress hook.
-func (o *Options) instrument(solver *sat.Solver, part int) {
-	if o.Progress != nil && o.ProgressEvery > 0 {
-		solver.Progress = func(st sat.Stats) { o.Progress(part, st) }
+// instrument arms one solver instance with the live progress hook and
+// returns the sampler piggybacked on the same cadence (nil when the
+// hook is disarmed — the sampler costs nothing beyond the callbacks
+// the caller already asked for).
+func (o *Options) instrument(solver *sat.Solver, part int) *sat.Sampler {
+	if o.Progress == nil || o.ProgressEvery <= 0 {
+		return nil
 	}
+	sampler := sat.NewSampler(0)
+	solver.Progress = func(st sat.Stats) {
+		sampler.Observe(st)
+		o.Progress(part, st)
+	}
+	return sampler
 }
 
 // solverOptions derives one instance's solver configuration, folding
@@ -357,7 +376,7 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			}
 
 			solver := sat.NewFromFormula(f, opts.solverOptions(pt.Index))
-			opts.instrument(solver, pt.Index)
+			sampler := opts.instrument(solver, pt.Index)
 			if opts.CertifyUnsat || opts.KeepProofs {
 				solver.EnableProof()
 			}
@@ -412,7 +431,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 				Cause:     cause,
 				Time:      elapsed,
 				Stats:     solver.Stats(),
+				Samples:   sampler.Points(),
 			}
+			inst.Hardness = sat.Hardness(inst.Stats.Conflicts, inst.Stats.Progress, elapsed)
 			if status == sat.Unsat && opts.KeepProofs {
 				inst.Proof = solver.ProofLog()
 			}

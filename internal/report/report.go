@@ -40,17 +40,38 @@ type Manifest struct {
 
 // PartitionRow is one partition's final timeline entry.
 type PartitionRow struct {
-	Partition    int     `json:"partition"`
-	Verdict      string  `json:"verdict,omitempty"`
-	Cause        string  `json:"cause,omitempty"`
-	Worker       string  `json:"worker,omitempty"`
-	Conflicts    int64   `json:"conflicts,omitempty"`
-	Propagations int64   `json:"propagations,omitempty"`
+	Partition    int    `json:"partition"`
+	Verdict      string `json:"verdict,omitempty"`
+	Cause        string `json:"cause,omitempty"`
+	Worker       string `json:"worker,omitempty"`
+	Conflicts    int64  `json:"conflicts,omitempty"`
+	Propagations int64  `json:"propagations,omitempty"`
 	// Progress is the partition's last search-progress estimate in
 	// [0,1] (sat.Solver.ProgressEstimate).
 	Progress    float64 `json:"progress,omitempty"`
 	SolveMillis int64   `json:"solve_millis,omitempty"`
 	Certified   bool    `json:"certified,omitempty"`
+	// Hardness is the partition's hardness score (sat.Hardness: conflict
+	// rate × (1 − progress slope)) — live over the last heartbeat
+	// interval while running, whole-run once finished. The hottest
+	// partitions are the split candidates for adaptive partitioning.
+	Hardness float64 `json:"hardness,omitempty"`
+	// ConflictRate is the partition's conflicts/second over the same
+	// interval.
+	ConflictRate float64 `json:"conflict_rate,omitempty"`
+}
+
+// ProfileRecord indexes one captured pprof profile in the run report,
+// so `parbmc report` can point at the evidence for each phase.
+type ProfileRecord struct {
+	// Phase is the bracketed pipeline phase ("encode", "solve", ...).
+	Phase string `json:"phase"`
+	// Kind is "cpu" or "heap".
+	Kind string `json:"kind"`
+	// Path is the profile file written under the run's -profile-dir.
+	Path string `json:"path"`
+	// Bytes is the profile's size on disk.
+	Bytes int64 `json:"bytes,omitempty"`
 }
 
 // Snapshot is one periodic metrics capture: the full Prometheus text
@@ -67,6 +88,9 @@ type Report struct {
 	WallMillis int64          `json:"wall_millis,omitempty"`
 	Partitions []PartitionRow `json:"partitions,omitempty"`
 	Snapshots  []Snapshot     `json:"snapshots,omitempty"`
+	// Profiles indexes the pprof CPU/heap captures of the run's phases
+	// (populated when the process ran with -profile-dir).
+	Profiles []ProfileRecord `json:"profiles,omitempty"`
 	// Spans are the span events collected in-process during the run
 	// (coordinator-side for distributed runs, plus worker spans shipped
 	// back in result messages). Extra JSONL files merge in at render
@@ -143,6 +167,31 @@ func (r *Recorder) Progress(partition int, worker string, conflicts, propagation
 	}
 }
 
+// Hardness records a partition's live hardness score and conflict rate.
+// Unlike the forward-only counters these are latest-wins: hardness is a
+// rate-derived level that legitimately falls as a partition closes in
+// on its verdict (a zero sample is ignored — rates need two snapshots).
+func (r *Recorder) Hardness(partition int, hardness, conflictRate float64) {
+	if r == nil || (hardness == 0 && conflictRate == 0) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row := r.row(partition)
+	row.Hardness = hardness
+	row.ConflictRate = conflictRate
+}
+
+// AddProfiles appends captured-profile index entries.
+func (r *Recorder) AddProfiles(recs []ProfileRecord) {
+	if r == nil || len(recs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Profiles = append(r.rep.Profiles, recs...)
+	r.mu.Unlock()
+}
+
 // Finish records a partition's final state. Zero counter values leave
 // earlier live updates in place (a solver that never hit the progress
 // cadence reports zeros, not regressions).
@@ -176,6 +225,12 @@ func (r *Recorder) Finish(row PartitionRow) {
 	}
 	if row.Certified {
 		cur.Certified = true
+	}
+	if row.Hardness != 0 {
+		cur.Hardness = row.Hardness
+	}
+	if row.ConflictRate != 0 {
+		cur.ConflictRate = row.ConflictRate
 	}
 }
 
@@ -222,6 +277,7 @@ func (r *Recorder) Build() *Report {
 	})
 	rep.Spans = append([]obs.Event(nil), rep.Spans...)
 	rep.Snapshots = append([]Snapshot(nil), rep.Snapshots...)
+	rep.Profiles = append([]ProfileRecord(nil), rep.Profiles...)
 	return &rep
 }
 
@@ -295,13 +351,22 @@ func Render(w io.Writer, rep *Report, extraSpans ...[]obs.Event) {
 		fmt.Fprintf(w, "\nMetrics snapshots: %d (last at %d ms, %d series lines)\n",
 			len(rep.Snapshots), last.AtMillis, strings.Count(last.Metrics, "\n"))
 	}
+
+	if len(rep.Profiles) > 0 {
+		fmt.Fprintf(w, "\nCaptured profiles (%d):\n", len(rep.Profiles))
+		for _, p := range rep.Profiles {
+			fmt.Fprintf(w, "  %-10s %-5s %8d B  %s\n", p.Phase, p.Kind, p.Bytes, p.Path)
+		}
+	}
 }
 
 func renderPartitionTable(w io.Writer, rows []PartitionRow) {
-	fmt.Fprintf(w, "  %9s  %-8s %-16s %10s %13s %9s %9s %s\n",
-		"partition", "verdict", "worker", "conflicts", "propagations", "progress", "solve-ms", "flags")
+	fmt.Fprintf(w, "  %9s  %-8s %-16s %10s %13s %9s %9s %9s %s\n",
+		"partition", "verdict", "worker", "conflicts", "propagations", "progress", "solve-ms", "hardness", "flags")
 	var minMs, maxMs int64 = -1, 0
 	minProg, maxProg := 1.0, 0.0
+	minHard, maxHard := -1.0, 0.0
+	hardest := -1
 	for _, r := range rows {
 		flags := ""
 		if r.Certified {
@@ -313,9 +378,9 @@ func renderPartitionTable(w io.Writer, rows []PartitionRow) {
 			}
 			flags += r.Cause
 		}
-		fmt.Fprintf(w, "  %9d  %-8s %-16s %10d %13d %9.3f %9d %s\n",
+		fmt.Fprintf(w, "  %9d  %-8s %-16s %10d %13d %9.3f %9d %9.1f %s\n",
 			r.Partition, orUnknown(r.Verdict), orDash(r.Worker),
-			r.Conflicts, r.Propagations, r.Progress, r.SolveMillis, flags)
+			r.Conflicts, r.Propagations, r.Progress, r.SolveMillis, r.Hardness, flags)
 		if minMs < 0 || r.SolveMillis < minMs {
 			minMs = r.SolveMillis
 		}
@@ -328,6 +393,15 @@ func renderPartitionTable(w io.Writer, rows []PartitionRow) {
 		if r.Progress > maxProg {
 			maxProg = r.Progress
 		}
+		if minHard < 0 || r.Hardness < minHard {
+			minHard = r.Hardness
+		}
+		if r.Hardness >= maxHard {
+			if r.Hardness > maxHard || hardest < 0 {
+				hardest = r.Partition
+			}
+			maxHard = r.Hardness
+		}
 	}
 	if len(rows) > 1 {
 		ratio := "inf"
@@ -338,6 +412,11 @@ func renderPartitionTable(w io.Writer, rows []PartitionRow) {
 		}
 		fmt.Fprintf(w, "  imbalance: solve-ms max/min = %s, progress spread = %.3f\n",
 			ratio, maxProg-minProg)
+		if minHard < 0 {
+			minHard = 0
+		}
+		fmt.Fprintf(w, "  hardness: max = %.1f (partition %d), min = %.1f, spread = %.1f — hottest partition is the next split candidate\n",
+			maxHard, hardest, minHard, maxHard-minHard)
 	}
 }
 

@@ -30,6 +30,25 @@ func TestRecorderMonotonicRows(t *testing.T) {
 	}
 }
 
+// Hardness is a level, not a counter: unlike the monotone row counters
+// a later lower sample replaces an earlier higher one (a partition that
+// was hard and then eased off is currently easy), but an all-zero
+// update — a heartbeat before the first sample — is ignored.
+func TestRecorderHardnessLatestWins(t *testing.T) {
+	r := NewRecorder()
+	r.Hardness(2, 10, 100)
+	r.Hardness(2, 4, 40)
+	r.Hardness(2, 0, 0)
+	rep := r.Build()
+	if len(rep.Partitions) != 1 {
+		t.Fatalf("rows: %d", len(rep.Partitions))
+	}
+	row := rep.Partitions[0]
+	if row.Hardness != 4 || row.ConflictRate != 40 {
+		t.Fatalf("hardness not latest-wins: %+v", row)
+	}
+}
+
 func TestNilRecorderIsNoOp(t *testing.T) {
 	var r *Recorder
 	r.SetManifest(Manifest{Program: "x"})
@@ -50,8 +69,12 @@ func TestWriteLoadRenderRoundTrip(t *testing.T) {
 		Partitions: 2, Mode: "distributed", TraceID: "cafe",
 	})
 	r.SetVerdict("SAFE", 250*time.Millisecond)
-	r.Finish(PartitionRow{Partition: 0, Verdict: "UNSAT", Worker: "w0", Conflicts: 10, Progress: 1, SolveMillis: 5})
-	r.Finish(PartitionRow{Partition: 1, Verdict: "UNSAT", Worker: "w1", Conflicts: 40, Progress: 1, SolveMillis: 20})
+	r.Finish(PartitionRow{Partition: 0, Verdict: "UNSAT", Worker: "w0", Conflicts: 10, Progress: 1, SolveMillis: 5, Hardness: 12.5, ConflictRate: 80})
+	r.Finish(PartitionRow{Partition: 1, Verdict: "UNSAT", Worker: "w1", Conflicts: 40, Progress: 1, SolveMillis: 20, Hardness: 50.0, ConflictRate: 200})
+	r.AddProfiles([]ProfileRecord{
+		{Phase: "encode", Kind: "cpu", Path: "profiles/p_encode.cpu.pprof", Bytes: 100},
+		{Phase: "solve", Kind: "heap", Path: "profiles/p_solve.heap.pprof", Bytes: 2000},
+	})
 	r.AddSpans([]obs.Event{
 		{Name: "coordinate", ID: 1, Proc: "coordinator", Trace: "cafe", DurMicros: 250000},
 		{Name: "job", ID: 2, Parent: 1, Proc: "coordinator", Trace: "cafe", DurMicros: 120000},
@@ -75,6 +98,9 @@ func TestWriteLoadRenderRoundTrip(t *testing.T) {
 	if len(rep.Snapshots) != 1 || !strings.Contains(rep.Snapshots[0].Metrics, "parbmc_test_gauge 7") {
 		t.Fatalf("snapshot lost: %+v", rep.Snapshots)
 	}
+	if len(rep.Profiles) != 2 || rep.Profiles[0].Phase != "encode" {
+		t.Fatalf("profile index lost: %+v", rep.Profiles)
+	}
 
 	// Rendering with an extra span set that parents under the embedded
 	// job span must extend the tree without orphans.
@@ -89,6 +115,9 @@ func TestWriteLoadRenderRoundTrip(t *testing.T) {
 		"Verdict: SAFE in 250 ms",
 		"Partition imbalance (2 partitions):",
 		"imbalance: solve-ms max/min = 4.0, progress spread = 0.000",
+		"hardness: max = 50.0 (partition 1), min = 12.5, spread = 37.5",
+		"Captured profiles (2):",
+		"profiles/p_solve.heap.pprof",
 		"Span tree: 3 spans, 1 roots, 0 orphans",
 		"Slowest spans:",
 		"Metrics snapshots: 1",

@@ -99,7 +99,9 @@ func (c StopCause) Budgeted() bool {
 }
 
 // Stats collects search statistics. The decision/depth/backjump counters
-// correspond to the quantities visualised in Figure 6 of the paper.
+// correspond to the quantities visualised in Figure 6 of the paper; the
+// learnt-DB and LBD fields feed the performance observatory (sampler,
+// hardness score, parbmc_lbd_bucket export — see introspect.go).
 type Stats struct {
 	Decisions    int64
 	Conflicts    int64
@@ -113,6 +115,22 @@ type Stats struct {
 	Simplified   int64 // clauses removed by the preprocessor
 	ElimVars     int64 // variables eliminated by the preprocessor
 
+	// LearntDeleted counts learnt clauses discarded by reduceDB. Together
+	// with Learnt it bounds the live learnt-DB churn: a high
+	// deleted/learnt ratio means the solver keeps throwing work away.
+	LearntDeleted int64
+
+	// LearntDB is the learnt-clause database size at the last snapshot
+	// (Progress-callback cadence and Solve return). A level, not a
+	// total, but Add still sums it: the aggregate of an ensemble is the
+	// combined clause-database footprint across its instances.
+	LearntDB int64
+
+	// LBDHist is the distribution of learnt-clause LBD ("glue") values
+	// over fixed buckets (see LBDBounds). Low-LBD mass is the classic
+	// signal that learning is productive; Add sums bucket-wise.
+	LBDHist LBDHistogram
+
 	// Progress is the latest search-progress estimate in [0,1]
 	// (ProgressEstimate), refreshed at the Progress-callback cadence and
 	// when Solve returns. Unlike the counters it is a level, not a
@@ -121,7 +139,16 @@ type Stats struct {
 	Progress float64
 }
 
-// Add accumulates o into s: counters sum, MaxDepth takes the maximum.
+// Add accumulates o into s. The aggregation laws (locked in by
+// TestStatsAddLaws):
+//
+//   - counters sum: Decisions, Conflicts, Propagations, Restarts,
+//     Backjumps, Learnt, LearntLits, Minimised, Simplified, ElimVars,
+//     LearntDeleted, and LearntDB (combined DB footprint), plus LBDHist
+//     bucket-wise;
+//   - MaxDepth and Progress take the maximum (deepest / furthest-along
+//     instance of the aggregate).
+//
 // Used to aggregate per-instance statistics across parallel, portfolio
 // and distributed runs.
 func (s *Stats) Add(o Stats) {
@@ -138,6 +165,9 @@ func (s *Stats) Add(o Stats) {
 	s.Minimised += o.Minimised
 	s.Simplified += o.Simplified
 	s.ElimVars += o.ElimVars
+	s.LearntDeleted += o.LearntDeleted
+	s.LearntDB += o.LearntDB
+	s.LBDHist.Merge(o.LBDHist)
 	if o.Progress > s.Progress {
 		s.Progress = o.Progress
 	}
@@ -700,6 +730,7 @@ func (s *Solver) litRedundant(l cnf.Lit) bool {
 func (s *Solver) recordLearnt(lits []cnf.Lit, lbd int) *clause {
 	s.stats.Learnt++
 	s.stats.LearntLits += int64(len(lits))
+	s.stats.LBDHist.Observe(lbd)
 	if s.proof != nil {
 		s.proof.Lemmas = append(s.proof.Lemmas, append(cnf.Clause{}, lits...))
 	}
@@ -742,7 +773,7 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = kept
-	_ = removed
+	s.stats.LearntDeleted += int64(removed)
 }
 
 func (s *Solver) isReason(c *clause) bool {
@@ -791,6 +822,7 @@ func (s *Solver) search(conflictBudget int64) (Status, error) {
 			if s.Progress != nil && s.opts.ProgressEvery > 0 &&
 				s.stats.Conflicts%s.opts.ProgressEvery == 0 {
 				s.stats.Progress = s.ProgressEstimate()
+				s.stats.LearntDB = int64(len(s.learnts))
 				s.Progress(s.stats)
 			}
 			if s.decisionLevel() == 0 {
@@ -855,9 +887,13 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) (Status, error) {
 	if !s.ok {
 		return Unsat, nil
 	}
-	// Stamp the final progress estimate so Stats() reflects where the
-	// search ended even when it finished between Progress callbacks.
-	defer func() { s.stats.Progress = s.ProgressEstimate() }()
+	// Stamp the final progress estimate and learnt-DB size so Stats()
+	// reflects where the search ended even when it finished between
+	// Progress callbacks.
+	defer func() {
+		s.stats.Progress = s.ProgressEstimate()
+		s.stats.LearntDB = int64(len(s.learnts))
+	}()
 	s.cancelUntil(0)
 	for _, a := range assumptions {
 		if int(a.Var()) > s.numVars {
