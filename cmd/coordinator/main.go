@@ -62,6 +62,8 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from an existing -journal, skipping committed chunks")
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-chunk wall-clock budget on workers (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-chunk solver conflict budget on workers (0: unbounded)")
+		memBudget  = flag.Int64("mem-budget", 0, "per-partition solver memory budget on workers, in MiB (0: unbounded)")
+		memPause   = flag.Float64("mem-pause-ratio", 0, "pause job dispatch while any worker's heartbeat memory fill ratio is at or above this (default 0.95, negative disables)")
 		certify    = flag.String("certify", "full", "remote verdict certification: full | sample=N | off")
 		lease      = flag.String("lease", "", "shared leadership lease file: run as an HA primary/standby pair (requires -journal)")
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "leadership lease duration; bounds the failover blackout")
@@ -209,6 +211,8 @@ func main() {
 		DrainTimeout:      *drainTO,
 		ChunkTimeout:      *chunkTO,
 		ChunkConflicts:    *chunkConfl,
+		MemBudgetMB:       *memBudget,
+		MemPauseRatio:     *memPause,
 		JournalPath:       *journal,
 		Resume:            *resume,
 		Metrics:           metrics,
@@ -281,6 +285,13 @@ func main() {
 	if certPolicy.Enabled() {
 		fmt.Printf("certification (%s): %d verdicts certified, %d certificates rejected, verify time %v\n",
 			certPolicy, res.Certified, res.CertRejected, time.Duration(res.CertifyMillis)*time.Millisecond)
+	}
+	if res.JournalSealed {
+		fmt.Printf("WARNING: journal sealed after storage failure; run continued journal-less (resume covers only earlier commits): %s\n", res.JournalSealCause)
+	}
+	if res.MemoryAborted > 0 {
+		fmt.Printf("memory aborts: %d chunk result(s) gave up on memory (%d dispatch pauses under fleet pressure)\n",
+			res.MemoryAborted, res.DispatchPaused)
 	}
 	if res.Drained {
 		fmt.Println("run drained: chunks were pending but no workers remained connected")

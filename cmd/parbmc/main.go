@@ -73,6 +73,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from an existing -journal, skipping committed partitions")
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-partition wall-clock budget (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-partition solver conflict budget (0: unbounded)")
+		memBudget  = flag.Int64("mem-budget", 0, "per-partition solver memory budget in MiB; over it the solver sheds learnt clauses, then records a memory-caused UNKNOWN (0: unbounded)")
 		reportOut  = flag.String("report", "", "write the run's flight-recorder report (JSON) to this file; render with `parbmc report`")
 		profileDir = flag.String("profile-dir", "", "capture per-phase pprof CPU+heap profiles (encode, solve) into this directory")
 	)
@@ -168,6 +169,7 @@ func main() {
 		Resume:         *resume,
 		ChunkTimeout:   *chunkTO,
 		ChunkConflicts: *chunkConfl,
+		MemBudgetMB:    *memBudget,
 		Profiler:       profiler,
 	})
 	if perr := profiler.Err(); perr != nil {
@@ -189,6 +191,9 @@ func main() {
 			Mode: "local", TraceID: tracer.TraceID(),
 		})
 		recorder.SetVerdict(res.Verdict.String(), time.Since(start))
+		if res.JournalSealed {
+			recorder.Warn(fmt.Sprintf("journal sealed after storage failure; run continued journal-less (resume covers only earlier commits): %s", res.SealCause))
+		}
 		for _, inst := range res.Instances {
 			recorder.Finish(report.PartitionRow{
 				Partition:    inst.Partition,
@@ -225,18 +230,28 @@ func main() {
 		if res.Resumed > 0 {
 			fmt.Printf("resumed:    %d partitions replayed from %s\n", res.Resumed, *journal)
 		}
-		if !res.Coverage.Complete() || res.Resumed > 0 || *chunkTO > 0 || *chunkConfl > 0 {
+		if !res.Coverage.Complete() || res.Resumed > 0 || *chunkTO > 0 || *chunkConfl > 0 || *memBudget > 0 {
 			fmt.Printf("coverage:   %v\n", res.Coverage)
+		}
+		if res.JournalSealed {
+			fmt.Printf("WARNING:    journal sealed after storage failure; run finished journal-less (resume covers only earlier commits): %s\n", res.SealCause)
 		}
 		if *stats {
 			for _, ph := range res.Phases {
 				fmt.Printf("phase %-10s %v\n", ph.Name+":", ph.Duration)
 			}
+			var peakMem int64
 			for _, inst := range res.Instances {
 				st := inst.Stats
-				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.3f hardness=%.1f\n",
+				if st.PeakMemBytes > peakMem {
+					peakMem = st.PeakMemBytes
+				}
+				fmt.Printf("partition %d: %s in %v — decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.3f hardness=%.1f peakmembytes=%d\n",
 					inst.Partition, inst.Status, inst.Time,
-					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress, inst.Hardness)
+					st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress, inst.Hardness, st.PeakMemBytes)
+			}
+			if peakMem > 0 {
+				fmt.Printf("peak solver memory: %d bytes (max over partitions)\n", peakMem)
 			}
 		}
 		if res.Verdict == core.Unsafe {

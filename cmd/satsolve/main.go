@@ -67,6 +67,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "print search statistics")
 		noModel    = flag.Bool("no-model", false, "suppress the v line")
 		maxConfl   = flag.Int64("max-conflicts", 0, "conflict budget (0 = unbounded)")
+		memBudget  = flag.Int64("mem-budget", 0, "per-instance solver memory budget in MiB; over it the solver sheds learnt clauses, then gives up UNKNOWN (0 = unbounded)")
 		progress   = flag.Int64("progress", 0, "print live search progress every N conflicts (0 disables)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve /debug/pprof and /healthz on this address")
 		proofPath  = flag.String("proof", "", "on UNSAT, write a DRAT-style refutation proof to this file (single-instance mode)")
@@ -138,8 +139,9 @@ func main() {
 			st = portfolio.StyleDiverse
 		}
 		popts := portfolio.Options{
-			Cores: *cores,
-			Style: st,
+			Cores:         *cores,
+			Style:         st,
+			InstanceMemMB: *memBudget,
 		}
 		if *progress > 0 {
 			popts.Progress = liveProgress
@@ -152,7 +154,9 @@ func main() {
 		}
 		status, model, searchStats = res.Status, res.Model, res.Stats
 	} else {
-		s := sat.NewFromFormula(formula, sat.Options{MaxConflicts: *maxConfl, ProgressEvery: *progress})
+		s := sat.NewFromFormula(formula, sat.Options{
+			MaxConflicts: *maxConfl, MemBudgetMB: *memBudget, ProgressEvery: *progress,
+		})
 		if *progress > 0 {
 			s.Progress = func(st sat.Stats) { liveProgress(0, st) }
 		}
@@ -160,6 +164,12 @@ func main() {
 			s.EnableProof()
 		}
 		status, err = s.Solve(assumptions...)
+		if err == sat.ErrMemBudget {
+			// A structured give-up, not a failure: report UNKNOWN with the
+			// cause named, like a conflict-budget exhaustion.
+			fmt.Printf("c memory budget exhausted (%d MiB, peak %d bytes)\n", *memBudget, s.PeakBytes())
+			status, err = sat.Unknown, nil
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "satsolve:", err)
 			os.Exit(2)
@@ -185,8 +195,9 @@ func main() {
 
 	if *stats {
 		for i, st := range searchStats {
-			fmt.Printf("c instance %d: decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.6f\n",
-				i, st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress)
+			fmt.Printf("c instance %d: decisions=%d conflicts=%d propagations=%d maxdepth=%d backjumps=%d restarts=%d progress=%.6f membytes=%d peakmembytes=%d memshrinks=%d\n",
+				i, st.Decisions, st.Conflicts, st.Propagations, st.MaxDepth, st.Backjumps, st.Restarts, st.Progress,
+				st.MemBytes, st.PeakMemBytes, st.MemShrinks)
 		}
 	}
 	switch status {

@@ -46,6 +46,8 @@ func main() {
 		reconnect = flag.Int("reconnect", 0, "max consecutive reconnect attempts after connection loss (0: exit on loss)")
 		backoff   = flag.Duration("backoff", 0, "base reconnect backoff (default 250ms)")
 		reconnTO  = flag.Duration("reconnect-timeout", 0, "total wall-clock retry budget per outage (0: unbounded)")
+		memLimit  = flag.Int64("mem-limit", 0, "arm the OOM watchdog at this many MiB of live heap (0: inherit GOMEMLIMIT)")
+		memFrac   = flag.Float64("mem-trip-fraction", 0, "fraction of the memory limit at which the watchdog aborts the running chunk (default 0.9)")
 		seed      = flag.Int64("fault-seed", 0, "seed for backoff jitter and the fault plan")
 		dropAt    = flag.Int("fault-drop", -1, "drop the connection upon receiving this job index")
 		halfAt    = flag.Int("fault-half-open", -1, "go half-open at this job index: TCP stays up, all sends silently vanish")
@@ -125,6 +127,8 @@ func main() {
 		ReconnectTimeout: *reconnTO,
 		Faults:           plan,
 		Tracer:           tracer,
+		MemLimitBytes:    *memLimit << 20,
+		MemTripFraction:  *memFrac,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker: %v (after %d jobs)\n", err, jobs)

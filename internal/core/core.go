@@ -117,6 +117,18 @@ type Options struct {
 	// CauseConflictBudget on exhaustion (0 = unbounded). If
 	// Solver.MaxConflicts is also set, the smaller bound applies.
 	ChunkConflicts int64
+	// MemBudgetMB bounds each partition solver's approximate live
+	// footprint in MiB. A solver over budget first sheds learnt clauses
+	// (degrade before dying); if that cannot get it back under, the
+	// partition ends Unknown with CauseMemory in the coverage report
+	// (0 = unbounded). If Solver.MemBudgetMB is also set, the smaller
+	// bound applies.
+	MemBudgetMB int64
+	// MemAbort, when non-nil, is an external kill switch (typically an
+	// RSS watchdog): once it is closed, every live and future solver
+	// instance is interrupted with CauseMemory, so the process sheds its
+	// biggest allocations before the kernel OOM-killer picks it.
+	MemAbort <-chan struct{}
 	// JournalPath, when non-empty, records the run manifest and every
 	// partition verdict in a crash-safe append-only journal at that path,
 	// so an interrupted run can be resumed without re-solving committed
@@ -194,10 +206,11 @@ type Coverage struct {
 	// Decided is the number that reached a definite SAT/UNSAT verdict
 	// (including verdicts replayed from a resume journal).
 	Decided int
-	// Timeout, ConflictBudget and Cancelled list the partition indices
-	// that ended Unknown, keyed by why.
+	// Timeout, ConflictBudget, Memory and Cancelled list the partition
+	// indices that ended Unknown, keyed by why.
 	Timeout        []int
 	ConflictBudget []int
+	Memory         []int
 	Cancelled      []int
 }
 
@@ -214,6 +227,9 @@ func (c Coverage) String() string {
 	}
 	if len(c.ConflictBudget) > 0 {
 		s += fmt.Sprintf(", conflict-budget: %v", c.ConflictBudget)
+	}
+	if len(c.Memory) > 0 {
+		s += fmt.Sprintf(", memory: %v", c.Memory)
 	}
 	if len(c.Cancelled) > 0 {
 		s += fmt.Sprintf(", cancelled: %v", c.Cancelled)
@@ -239,6 +255,8 @@ func buildCoverage(total int, pres *parallel.Result) Coverage {
 			c.Timeout = append(c.Timeout, inst.Partition)
 		case inst.Cause == sat.CauseConflictBudget:
 			c.ConflictBudget = append(c.ConflictBudget, inst.Partition)
+		case inst.Cause == sat.CauseMemory:
+			c.Memory = append(c.Memory, inst.Partition)
 		default:
 			c.Cancelled = append(c.Cancelled, inst.Partition)
 		}
@@ -292,6 +310,13 @@ type Result struct {
 	// Resumed is the number of partition verdicts replayed from the
 	// journal instead of re-solved (JournalPath with Resume).
 	Resumed int
+	// JournalSealed reports that the resume journal hit a write or sync
+	// failure mid-run (disk full, I/O error) and sealed itself read-only;
+	// the run finished journal-less from that point, so crash resume
+	// covers only the verdicts committed before the seal. SealCause is
+	// the underlying failure.
+	JournalSealed bool
+	SealCause     string
 }
 
 // Verify runs the full pipeline on a checked program.
@@ -410,6 +435,7 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		KeepProofs: opts.KeepProofs,
 		Progress:   opts.Progress, ProgressEvery: opts.ProgressEvery,
 		ChunkTimeout: opts.ChunkTimeout, ChunkConflicts: opts.ChunkConflicts,
+		MemBudgetMB: opts.MemBudgetMB, MemAbort: opts.MemAbort,
 		Journal: jnl,
 	}
 	solveSpan := opts.phase("solve",
@@ -476,6 +502,8 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		Coverage:    buildCoverage(len(parts), pres),
 		Resumed:     pres.Resumed,
 	}
+	res.JournalSealed = pres.JournalSealed
+	res.SealCause = pres.JournalSealCause
 	switch pres.Status {
 	case sat.Sat:
 		res.Verdict = Unsafe

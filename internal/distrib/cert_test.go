@@ -455,7 +455,7 @@ func TestWorkerPanicRecovery(t *testing.T) {
 func TestRunJobRecoversPanic(t *testing.T) {
 	m := &Message{Type: "job", JobID: 7, Source: fibSrc, Unwind: 1, Contexts: 3,
 		Partitions: 4, From: 0, To: 1, Certify: CertifyFull}
-	reply, cert := runJob(context.Background(), m, 1, nil, &FaultEvent{Job: 0, Kind: FaultPanic}, nil, "w")
+	reply, cert := runJob(context.Background(), m, 1, nil, &FaultEvent{Job: 0, Kind: FaultPanic}, nil, "w", nil)
 	if reply == nil || reply.JobID != 7 {
 		t.Fatalf("reply %+v", reply)
 	}

@@ -55,6 +55,23 @@ type CoordinatorOptions struct {
 	// ChunkConflicts bounds each partition's solver conflicts on the
 	// worker (0 = unbounded).
 	ChunkConflicts int64
+	// MemBudgetMB bounds each partition solver's approximate live
+	// footprint on the worker, in MiB; an instance that cannot shed
+	// learnt clauses back under it gives up with cause "memory", a
+	// terminal budgeted Unknown journaled with the budget it gave up
+	// under (0 = unbounded). Independent of this, a worker whose own
+	// OOM watchdog trips reports cause "memory" too; with no budget
+	// configured such an abort is treated as worker-local (that machine
+	// ran out, not the chunk being inherently too big) and the chunk is
+	// re-queued to the fleet instead of journaled terminal.
+	MemBudgetMB int64
+	// MemPauseRatio is the fleet memory-pressure backpressure threshold:
+	// while any worker's heartbeat-reported live-heap/limit ratio is at
+	// or above it, new job dispatch pauses until the pressure subsides
+	// or the reading goes stale (HeartbeatGrace), so an overloaded fleet
+	// drains instead of being handed more work. 0 defaults to 0.95;
+	// negative disables the gate.
+	MemPauseRatio float64
 	// JournalPath, when non-empty, records the run manifest and every
 	// chunk verdict in a crash-safe journal, committed before the chunk
 	// is acknowledged, so a killed coordinator can be restarted without
@@ -156,12 +173,25 @@ type CoordinatorResult struct {
 	// certificate; CertRejected counts results whose certificate was
 	// rejected (each rejection also marks its worker untrusted).
 	Certified, CertRejected int
+	// MemoryAborted counts chunk results that came back with cause
+	// "memory" (solver over its budget, or worker OOM-watchdog trip).
+	MemoryAborted int
+	// DispatchPaused counts backpressure episodes: times job dispatch
+	// paused because fleet memory pressure crossed MemPauseRatio.
+	DispatchPaused int
+	// JournalSealed reports that the run journal hit a write or sync
+	// failure (disk full, I/O error) and sealed itself read-only; the
+	// run finished journal-less from that point — still correct, but a
+	// crash resume covers only verdicts committed before the seal.
+	// JournalSealCause is the underlying failure.
+	JournalSealed    bool
+	JournalSealCause string
 }
 
 // ChunkExhausted names the budget a chunk gave up under.
 type ChunkExhausted struct {
 	Chunk partition.Chunk
-	Cause string // "timeout" | "conflict-budget"
+	Cause string // "timeout" | "conflict-budget" | "memory"
 }
 
 // coordinator is the shared state of one Coordinate call.
@@ -179,6 +209,9 @@ type coordinator struct {
 	res       *CoordinatorResult
 	jerr      error // first journal commit failure: fails the whole run
 	conns     map[*conn]struct{}
+
+	sealed   bool                      // journal sealed: degrade, stop committing
+	pressure map[string]workerPressure // per-worker heartbeat memory readings
 
 	pending  chan partition.Chunk
 	done     chan struct{}
@@ -222,6 +255,9 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	}
 	if opts.DrainTimeout == 0 {
 		opts.DrainTimeout = 30 * time.Second
+	}
+	if opts.MemPauseRatio == 0 {
+		opts.MemPauseRatio = 0.95
 	}
 	opts.Certify = opts.Certify.normalize()
 	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
@@ -302,6 +338,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		source:    source,
 		remaining: len(chunks),
 		res:       &CoordinatorResult{Verdict: core.Safe, Winner: -1, ChunksTotal: len(chunks)},
+		pressure:  make(map[string]workerPressure),
 		conns:     make(map[*conn]struct{}),
 		pending:   make(chan partition.Chunk, len(chunks)),
 		done:      make(chan struct{}),
@@ -332,7 +369,7 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		// budgets pinned on its record: a resume that lifted or raised
 		// the exhausted budget re-queues the chunk for workers instead of
 		// replaying a give-up the new flags were meant to overcome.
-		if rec.RetryUnder(opts.ChunkTimeout.Milliseconds(), opts.ChunkConflicts) {
+		if rec.RetryUnder(opts.ChunkTimeout.Milliseconds(), opts.ChunkConflicts, opts.MemBudgetMB) {
 			co.pending <- ch
 			continue
 		}
@@ -414,6 +451,9 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	res.Wall = time.Since(start)
 	root.End(obs.KV("verdict", res.Verdict.String()))
 	co.recorder.SetVerdict(res.Verdict.String(), res.Wall)
+	if res.MemoryAborted > 0 {
+		co.recorder.Warn(fmt.Sprintf("%d chunk result(s) aborted on memory (solver budget or worker OOM watchdog)", res.MemoryAborted))
+	}
 	if jerr != nil {
 		// A verdict the journal could not make durable must not be
 		// acknowledged: a resume would re-derive a different history.
@@ -426,20 +466,35 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 }
 
 // commitChunk durably records one chunk verdict before it is
-// acknowledged to the run state. A commit failure ends the run: better
-// to stop than to hand out verdicts a resume cannot reproduce. The
-// commit/replicate pair is ordered under commitMu so every standby's
-// copy carries records in the primary's exact journal order —
-// replication happens strictly *after* the local fsync, never instead
-// of it, so a verdict a standby inherits is always one the primary
-// made durable first.
+// acknowledged to the run state. A storage failure (disk full, I/O
+// error) seals the journal read-only and the run degrades loudly to
+// journal-less operation: verdicts keep flowing — the run stays
+// correct, it just loses crash resumability past the seal — and the
+// degradation is surfaced on the result, the metrics, and the run
+// report. Any other commit failure (marshalling, closed journal) still
+// ends the run: better to stop than to hand out verdicts a resume
+// cannot reproduce. The commit/replicate pair is ordered under
+// commitMu so every standby's copy carries records in the primary's
+// exact journal order — replication happens strictly *after* the local
+// fsync, never instead of it, so a verdict a standby inherits is
+// always one the primary made durable first.
 func (co *coordinator) commitChunk(rec journal.ChunkRecord) bool {
 	if co.jnl == nil {
 		return true
 	}
+	co.mu.Lock()
+	sealed := co.sealed
+	co.mu.Unlock()
+	if sealed {
+		return true // degraded mode: nothing left to commit to
+	}
 	co.commitMu.Lock()
 	if err := co.jnl.Commit(rec); err != nil {
 		co.commitMu.Unlock()
+		if errors.Is(err, journal.ErrSealed) {
+			co.sealDegrade(err)
+			return true
+		}
 		co.mu.Lock()
 		if co.jerr == nil {
 			co.jerr = err
@@ -460,6 +515,100 @@ func (co *coordinator) commitChunk(rec journal.ChunkRecord) bool {
 		return false
 	}
 	return true
+}
+
+// sealDegrade records the journal's seal once and flips the run into
+// journal-less operation: replication stops (standbys keep the history
+// up to the seal, which is exactly what the local journal holds), the
+// parbmc_journal_sealed gauge latches, and the final report carries a
+// warning. Deliberately loud and deliberately non-fatal: losing the
+// disk under the journal must not throw away a fleet's solving work.
+func (co *coordinator) sealDegrade(err error) {
+	co.metrics.journalSealed.Set(1)
+	co.mu.Lock()
+	first := !co.sealed
+	co.sealed = true
+	if first {
+		co.res.JournalSealed = true
+		co.res.JournalSealCause = err.Error()
+	}
+	co.mu.Unlock()
+	if first {
+		co.recorder.Warn(fmt.Sprintf("journal sealed after storage failure; run continued journal-less (resume covers only earlier commits): %v", err))
+	}
+}
+
+// workerPressure is one worker's latest heartbeat memory reading.
+type workerPressure struct {
+	ratio float64
+	at    time.Time
+}
+
+// notePressure folds one heartbeat's memory reading into the fleet
+// pressure map. Workers without a limit report ratio 0: they cannot be
+// "full".
+func (co *coordinator) notePressure(key string, memBytes, memLimit int64) {
+	if co.opts.MemPauseRatio < 0 {
+		return
+	}
+	ratio := 0.0
+	if memLimit > 0 {
+		ratio = float64(memBytes) / float64(memLimit)
+	}
+	co.mu.Lock()
+	co.pressure[key] = workerPressure{ratio: ratio, at: time.Now()}
+	co.mu.Unlock()
+}
+
+// overPressure reports whether any worker's fresh memory reading is at
+// or above MemPauseRatio. Readings older than HeartbeatGrace are
+// ignored: heartbeats only flow while a job runs, so a worker that
+// went idle (or away) must not hold the dispatch gate shut forever.
+func (co *coordinator) overPressure() bool {
+	if co.opts.MemPauseRatio < 0 {
+		return false
+	}
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for key, p := range co.pressure {
+		if now.Sub(p.at) > co.opts.HeartbeatGrace {
+			delete(co.pressure, key)
+			continue
+		}
+		if p.ratio >= co.opts.MemPauseRatio {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchGate blocks new job dispatch while the fleet is over the
+// memory-pressure threshold — backpressure: an overloaded fleet drains
+// its in-flight jobs instead of being handed more. Returns false if
+// the run finished while waiting. The wait self-limits: pressure
+// readings expire at HeartbeatGrace, so the gate reopens within one
+// grace period even if every worker goes silent.
+func (co *coordinator) dispatchGate() bool {
+	if !co.overPressure() {
+		return true
+	}
+	co.metrics.dispatchPaused.Inc()
+	co.mu.Lock()
+	co.res.DispatchPaused++
+	co.mu.Unlock()
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.done:
+			return false
+		case <-t.C:
+			if !co.overPressure() {
+				return true
+			}
+		}
+	}
 }
 
 // kill is the simulated SIGKILL of CoordinatorFaultPlan.KillAfterJobs:
@@ -582,6 +731,14 @@ func (co *coordinator) serve(c net.Conn) {
 			_ = wc.send(&Message{Type: "stop"})
 			return
 		}
+		// Backpressure: while the fleet is over the memory-pressure
+		// threshold, hold the chunk rather than pile more work onto
+		// machines already close to their limit.
+		if !co.dispatchGate() {
+			co.pending <- chunk // run ended while waiting; not consumed
+			_ = wc.send(&Message{Type: "stop"})
+			return
+		}
 		co.mu.Lock()
 		co.jobID++
 		id := co.jobID
@@ -602,6 +759,7 @@ func (co *coordinator) serve(c net.Conn) {
 			HeartbeatMillis:    hbMillis,
 			ChunkTimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
 			ChunkConflicts:     co.opts.ChunkConflicts,
+			MemBudgetMB:        co.opts.MemBudgetMB,
 			Certify:            level,
 			TraceID:            sc.TraceID,
 			ParentSpan:         sc.SpanID,
@@ -731,7 +889,25 @@ func (co *coordinator) serve(c net.Conn) {
 				return
 			}
 		default:
-			if sat.ParseStopCause(reply.Cause).Budgeted() {
+			cause := sat.ParseStopCause(reply.Cause)
+			if cause == sat.CauseMemory {
+				co.metrics.memoryAborted.Inc()
+				co.mu.Lock()
+				co.res.MemoryAborted++
+				co.mu.Unlock()
+				if co.opts.MemBudgetMB == 0 {
+					// With no configured memory budget, a "memory" result is
+					// the worker's own OOM watchdog tripping: that machine
+					// ran out, not the chunk being deterministically too
+					// big. Re-queue it — another worker (or the same one,
+					// once its heap drains) may have the headroom. The
+					// attempt budget still bounds how often this can loop.
+					co.requeueOrQuarantine(chunk, key,
+						fmt.Sprintf("job %d on %s: memory watchdog abort", id, key))
+					continue
+				}
+			}
+			if cause.Budgeted() {
 				// A budgeted Unknown is deterministic: the same chunk under
 				// the same budgets gives up again. Terminal, journaled with
 				// the budgets it gave up under (so a resume with raised
@@ -743,6 +919,7 @@ func (co *coordinator) serve(c net.Conn) {
 					Cause: reply.Cause, Millis: reply.Millis,
 					TimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
 					Conflicts:     co.opts.ChunkConflicts,
+					MemBudgetMB:   co.opts.MemBudgetMB,
 				}) {
 					return
 				}
@@ -803,6 +980,7 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 			if reply.JobID == id {
 				co.health.touch(key)
 				co.metrics.heartbeat(key, reply)
+				co.notePressure(key, reply.MemBytes, reply.MemLimit)
 				for _, pp := range reply.Parts {
 					co.metrics.partProgress(pp)
 					co.recorder.Progress(pp.Partition, key, pp.Conflicts, pp.Propagations, pp.Progress)

@@ -165,7 +165,10 @@ func (l *Lease) write() error {
 }
 
 // writeLeaseFile replaces the lease file atomically (temp + rename), so
-// a reader never observes a torn lease.
+// a reader never observes a torn lease. The parent directory is fsynced
+// after the rename: without it the new directory entry is not durable,
+// and a power loss can resurface the *previous* lease state — a deposed
+// holder's epoch — after the new holder already acted on its term.
 func writeLeaseFile(path string, s LeaseState) error {
 	data, err := json.Marshal(s)
 	if err != nil {
@@ -190,7 +193,15 @@ func writeLeaseFile(path string, s LeaseState) error {
 		os.Remove(name)
 		return err
 	}
-	return os.Rename(name, path)
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync() // best-effort, like journal.syncDir: some filesystems refuse
+		dir.Close()
+	}
+	return nil
 }
 
 // sidecarLock serialises lease mutations through an O_EXCL lock file.

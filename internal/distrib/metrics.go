@@ -23,7 +23,10 @@ type coordMetrics struct {
 	heartbeats      *obs.Counter
 	chunksResumed   *obs.Counter
 	budgetExhausted *obs.Counter
+	memoryAborted   *obs.Counter
+	dispatchPaused  *obs.Counter
 	journalCommits  *obs.Counter
+	journalSealed   *obs.Gauge
 	certVerified    *obs.Counter
 	certRejected    *obs.Counter
 	certifySeconds  *obs.Histogram
@@ -66,8 +69,14 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Chunk verdicts replayed from the journal instead of re-solved."),
 		budgetExhausted: reg.Counter("parbmc_coordinator_budget_exhausted_total",
 			"Chunks that ended Unknown with a named budget (terminal)."),
+		memoryAborted: reg.Counter("parbmc_chunks_memory_aborted_total",
+			"Chunk results with cause \"memory\": solver over its memory budget, or worker OOM-watchdog abort."),
+		dispatchPaused: reg.Counter("parbmc_dispatch_paused_total",
+			"Backpressure episodes: job dispatch paused because fleet memory pressure crossed the threshold."),
 		journalCommits: reg.Counter("parbmc_journal_commits_total",
 			"Chunk verdicts durably committed to the run journal."),
+		journalSealed: reg.Gauge("parbmc_journal_sealed",
+			"1 once the run journal sealed itself after a storage failure (run degraded to journal-less)."),
 		certVerified: reg.Counter("parbmc_coordinator_certificates_verified_total",
 			"Remote verdict certificates that checked out against the coordinator's own encoding."),
 		certRejected: reg.Counter("parbmc_coordinator_certificates_rejected_total",
@@ -159,6 +168,14 @@ func (m *coordMetrics) heartbeat(worker string, hb *Message) {
 	m.reg.FloatGauge("parbmc_worker_hardness",
 		"Hardness score of the worker's hottest partition (conflict rate × (1 − progress slope)).",
 		"worker", worker).Set(hb.Hardness)
+	m.reg.Gauge("parbmc_worker_mem_bytes",
+		"Live-heap estimate of the worker process in bytes, from its latest heartbeat.",
+		"worker", worker).Set(hb.MemBytes)
+	if hb.MemLimit > 0 {
+		m.reg.Gauge("parbmc_worker_mem_limit_bytes",
+			"Effective memory limit of the worker process in bytes (GOMEMLIMIT or -mem-limit).",
+			"worker", worker).Set(hb.MemLimit)
+	}
 }
 
 // partProgress pins one partition's live search state as gauges — the

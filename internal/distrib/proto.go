@@ -66,6 +66,10 @@ type Message struct {
 	// chunk degrades to a budgeted Unknown instead of eating JobTimeout.
 	ChunkTimeoutMillis int64 `json:"chunk_timeout_millis,omitempty"`
 	ChunkConflicts     int64 `json:"chunk_conflicts,omitempty"`
+	// MemBudgetMB propagates the coordinator's per-partition solver
+	// memory budget: a remote solver over it sheds learnt clauses first
+	// and gives up with cause "memory" if shedding is not enough.
+	MemBudgetMB int64 `json:"mem_budget_mb,omitempty"`
 	// Certify is the evidence level the coordinator demands with this
 	// job's result: "full" (UNSAFE model + per-partition UNSAT proofs),
 	// "model" (UNSAFE model only), or "off"/"" (none).
@@ -89,9 +93,10 @@ type Message struct {
 	Stats       *sat.Stats `json:"stats,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	// Cause names the exhausted budget behind an UNKNOWN verdict
-	// ("timeout" or "conflict-budget"); empty for a retryable Unknown
-	// such as worker-side cancellation. A budgeted Unknown is terminal:
-	// re-running the same chunk under the same budgets gives up again.
+	// ("timeout", "conflict-budget", or "memory"); empty for a retryable
+	// Unknown such as worker-side cancellation. A budgeted Unknown is
+	// terminal: re-running the same chunk under the same budgets gives
+	// up again.
 	Cause string `json:"cause,omitempty"`
 
 	// CertSize, on a definite result solved under certification,
@@ -133,6 +138,13 @@ type Message struct {
 	DecisionRate    float64 `json:"decision_rate,omitempty"`
 	PropagationRate float64 `json:"propagation_rate,omitempty"`
 	Hardness        float64 `json:"hardness,omitempty"`
+
+	// Memory heartbeat fields: the worker's live-heap estimate and its
+	// effective memory limit (GOMEMLIMIT or -mem-limit), in bytes. The
+	// coordinator's backpressure gate keys on the MemBytes/MemLimit
+	// ratio; MemLimit 0 means the worker runs unbounded.
+	MemBytes int64 `json:"mem_bytes,omitempty"`
+	MemLimit int64 `json:"mem_limit,omitempty"`
 
 	// Spans, on a result, carries the worker's span events for this job
 	// (collected via an obs.CollectorSink), so the coordinator's run

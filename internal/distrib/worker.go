@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memwatch"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sat"
@@ -44,6 +45,16 @@ type WorkerOptions struct {
 	// sleeps all count — where MaxReconnects only counts failed cycles.
 	// The window resets every time a job completes. 0 means no budget.
 	ReconnectTimeout time.Duration
+	// MemLimitBytes arms the worker's OOM watchdog: while a job runs,
+	// the live heap is sampled and, at MemTripFraction of this limit,
+	// every solver instance is interrupted with a memory cause — the job
+	// returns a structured "memory" verdict instead of the process being
+	// OOM-killed mid-chunk. 0 inherits the runtime's soft memory limit
+	// (GOMEMLIMIT); if neither is set the watchdog is inert.
+	MemLimitBytes int64
+	// MemTripFraction is the fill fraction at which the watchdog trips
+	// (default 0.9 — the abort path needs allocation headroom to run).
+	MemTripFraction float64
 	// Faults, when non-nil, injects deterministic failures for tests —
 	// see FaultPlan.
 	Faults *FaultPlan
@@ -403,6 +414,19 @@ func (p *jobProgress) parts() ([]PartProgress, float64) {
 // is stopped before the result goes out, so a result is never followed
 // by its own heartbeat.
 func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message, f *FaultEvent) (*Message, *Certificate) {
+	// Per-job OOM watchdog: a fresh one each job so the trip re-arms
+	// after an aborted chunk frees its memory. On trip the job's solvers
+	// are interrupted with a memory cause (via core.Options.MemAbort),
+	// so the worker sheds the chunk and answers with a structured
+	// verdict before the kernel's OOM-killer would pick the process.
+	memAbort := make(chan struct{})
+	watch := memwatch.Start(memwatch.Options{
+		LimitBytes:   w.opts.MemLimitBytes,
+		TripFraction: w.opts.MemTripFraction,
+		OnTrip:       func(used, limit int64) { close(memAbort) },
+	})
+	defer watch.Stop()
+
 	var hbStop, hbDone chan struct{}
 	var progress *jobProgress
 	if m.HeartbeatMillis > 0 {
@@ -440,7 +464,9 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message,
 						ConflictRate:    s.ConflictRate,
 						DecisionRate:    s.DecisionRate,
 						PropagationRate: s.PropagationRate,
-						Hardness:        maxHardness}
+						Hardness:        maxHardness,
+						MemBytes:        watch.Used(),
+						MemLimit:        watch.Limit()}
 					if err := wc.send(hb); err != nil {
 						return
 					}
@@ -448,7 +474,7 @@ func (w *worker) runJobWithHeartbeats(ctx context.Context, wc *conn, m *Message,
 			}
 		}()
 	}
-	reply, cert := runJob(ctx, m, w.opts.Cores, progress, f, w.opts.Tracer, w.procName())
+	reply, cert := runJob(ctx, m, w.opts.Cores, progress, f, w.opts.Tracer, w.procName(), memAbort)
 	if hbStop != nil {
 		close(hbStop)
 		<-hbDone
@@ -528,7 +554,7 @@ func sendCert(wc *conn, jobID int, data []byte) error {
 // in-memory collector, the job span is parented under the
 // coordinator's wire-carried job span, the verify pipeline hangs off
 // it, and the collected events ship back on the result.
-func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f *FaultEvent, base *obs.Tracer, proc string) (reply *Message, cert *Certificate) {
+func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f *FaultEvent, base *obs.Tracer, proc string, memAbort <-chan struct{}) (reply *Message, cert *Certificate) {
 	reply = &Message{Type: "result", JobID: m.JobID, Winner: -1}
 	defer func() {
 		if r := recover(); r != nil {
@@ -579,6 +605,8 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 		To:             m.To + 1,
 		ChunkTimeout:   time.Duration(m.ChunkTimeoutMillis) * time.Millisecond,
 		ChunkConflicts: m.ChunkConflicts,
+		MemBudgetMB:    m.MemBudgetMB,
+		MemAbort:       memAbort,
 		// Record refutation proofs when the coordinator demands full
 		// certificates; the UNSAFE model is kept in any case.
 		KeepProofs: m.Certify == CertifyFull,
@@ -601,9 +629,14 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 	if res.Verdict == core.Unknown {
 		// Name the dominant exhausted budget so the coordinator can tell
 		// a terminal budgeted Unknown (re-running gives up again) from a
-		// retryable one (cancellation mid-flight). Timeout dominates: a
-		// run that hit the wall clock anywhere is wall-clock bound.
+		// retryable one (cancellation mid-flight). Memory dominates: a
+		// watchdog-aborted job must surface as "memory" so the
+		// coordinator can apply its memory retry policy, whatever else
+		// was exhausted alongside. Then timeout: a run that hit the wall
+		// clock anywhere is wall-clock bound.
 		switch {
+		case len(res.Coverage.Memory) > 0:
+			reply.Cause = sat.CauseMemory.String()
 		case len(res.Coverage.Timeout) > 0:
 			reply.Cause = sat.CauseTimeout.String()
 		case len(res.Coverage.ConflictBudget) > 0:

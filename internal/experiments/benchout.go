@@ -18,7 +18,10 @@ type BenchEntry struct {
 	Conflicts  int64   `json:"conflicts"`
 	Partitions int     `json:"partitions"`
 	Progress   float64 `json:"progress_at_solve"`
-	Verdict    string  `json:"verdict"`
+	// PeakMemBytes is the largest single-instance solver footprint for
+	// this cell (solver live-byte accounting, not process RSS).
+	PeakMemBytes int64  `json:"peak_mem_bytes,omitempty"`
+	Verdict      string `json:"verdict"`
 }
 
 // BenchFile is the top-level shape of BENCH_<date>.json.
@@ -34,15 +37,16 @@ func BenchEntries(rows []Table2Row) []BenchEntry {
 	for _, r := range rows {
 		for _, cores := range sortedCores(r.Times) {
 			out = append(out, BenchEntry{
-				Instance:   r.Bench.Name,
-				Unwind:     r.U,
-				Contexts:   r.C,
-				Cores:      cores,
-				WallMillis: r.Times[cores].Milliseconds(),
-				Conflicts:  r.Conflicts[cores],
-				Partitions: r.Partitions[cores],
-				Progress:   r.Progress[cores],
-				Verdict:    r.Verdicts[cores].String(),
+				Instance:     r.Bench.Name,
+				Unwind:       r.U,
+				Contexts:     r.C,
+				Cores:        cores,
+				WallMillis:   r.Times[cores].Milliseconds(),
+				Conflicts:    r.Conflicts[cores],
+				Partitions:   r.Partitions[cores],
+				Progress:     r.Progress[cores],
+				PeakMemBytes: r.PeakMemBytes[cores],
+				Verdict:      r.Verdicts[cores].String(),
 			})
 		}
 	}

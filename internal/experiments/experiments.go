@@ -103,6 +103,11 @@ type Table2Row struct {
 	Conflicts  map[int]int64
 	Progress   map[int]float64
 	Partitions map[int]int
+	// PeakMemBytes is the largest single-instance solver footprint per
+	// core count (max over partitions of the solver's own live-byte
+	// accounting) — the resource-governance signal tracked alongside
+	// times so memory regressions show up in the bench trajectory too.
+	PeakMemBytes map[int]int64
 }
 
 // Speedup returns times[1] / times[cores].
@@ -130,12 +135,13 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 	fmt.Fprintln(w)
 	for _, cell := range Grid(cfg.Full) {
 		row := Table2Row{
-			Cell:       cell,
-			Times:      map[int]time.Duration{},
-			Verdicts:   map[int]core.Verdict{},
-			Conflicts:  map[int]int64{},
-			Progress:   map[int]float64{},
-			Partitions: map[int]int{},
+			Cell:         cell,
+			Times:        map[int]time.Duration{},
+			Verdicts:     map[int]core.Verdict{},
+			Conflicts:    map[int]int64{},
+			Progress:     map[int]float64{},
+			Partitions:   map[int]int{},
+			PeakMemBytes: map[int]int64{},
 		}
 		for _, cores := range cfg.Cores {
 			res, err := core.Verify(ctx, cell.Bench.Program, core.Options{
@@ -150,12 +156,15 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 			row.Times[cores] = res.SolveTime
 			row.Verdicts[cores] = res.Verdict
 			row.Partitions[cores] = res.Partitions
-			var conflicts int64
+			var conflicts, peakMem int64
 			minProgress := -1.0
 			for _, inst := range res.Instances {
 				conflicts += inst.Stats.Conflicts
 				if minProgress < 0 || inst.Stats.Progress < minProgress {
 					minProgress = inst.Stats.Progress
+				}
+				if inst.Stats.PeakMemBytes > peakMem {
+					peakMem = inst.Stats.PeakMemBytes
 				}
 			}
 			if minProgress < 0 {
@@ -163,6 +172,7 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 			}
 			row.Conflicts[cores] = conflicts
 			row.Progress[cores] = minProgress
+			row.PeakMemBytes[cores] = peakMem
 		}
 		rows = append(rows, row)
 		printTable2Row(w, cfg, &row)

@@ -29,6 +29,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/obs"
@@ -57,6 +58,28 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // written by a run with different parameters; resuming it would mix
 // verdicts computed under different bounds.
 var ErrManifestMismatch = errors.New("journal: manifest mismatch")
+
+// ErrSealed is returned by Commit after a write or fsync failure
+// (ENOSPC, dying disk) has sealed the journal read-only. The journal
+// never half-writes: the failed record's bytes are rolled back to the
+// last durable record, so the on-disk prefix remains exactly the
+// committed set and a later resume passes torn-tail repair as usual.
+// Callers are expected to degrade to journal-less operation rather
+// than crash the run.
+var ErrSealed = errors.New("journal: sealed after write failure")
+
+// File is the storage a Journal appends to — the subset of *os.File the
+// journal uses. It exists so tests can inject failing writers (ENOSPC,
+// torn fsync) via OpenFile without touching a real disk.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
 
 // Manifest pins the parameters a journal's verdicts are valid under.
 // Two runs may share a journal only if every field is equal.
@@ -100,18 +123,19 @@ type ChunkRecord struct {
 	// (Verdict == "SAT"; -1 otherwise).
 	Winner int `json:"winner,omitempty"`
 	// Cause names the exhausted budget for an UNKNOWN verdict
-	// ("timeout" | "conflict-budget"); in-flight chunks are never
-	// committed, so a journaled UNKNOWN is always a budget verdict.
+	// ("timeout" | "conflict-budget" | "memory"); in-flight chunks are
+	// never committed, so a journaled UNKNOWN is always a budget verdict.
 	Cause string `json:"cause,omitempty"`
 	// Millis is the chunk's solve time, kept for resume diagnostics.
 	Millis int64 `json:"millis,omitempty"`
-	// TimeoutMillis and Conflicts pin the per-chunk budgets a
-	// budget-exhausted verdict was computed under (0 = unbounded /
+	// TimeoutMillis, Conflicts and MemBudgetMB pin the per-chunk budgets
+	// a budget-exhausted verdict was computed under (0 = unbounded /
 	// unrecorded). A budgeted UNKNOWN is terminal only relative to its
 	// budgets: a resume with strictly larger ones re-solves the chunk
 	// (see RetryUnder) instead of replaying a stale give-up.
 	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
 	Conflicts     int64 `json:"conflicts,omitempty"`
+	MemBudgetMB   int64 `json:"mem_budget_mb,omitempty"`
 	// Certified marks a remote verdict whose certificate (RUP proof or
 	// satisfying model) the coordinator verified against its own encoding
 	// before committing. A distributed resume running with certification
@@ -124,16 +148,19 @@ type ChunkRecord struct {
 
 // RetryUnder reports whether a budget-exhausted record should be
 // re-solved rather than replayed under the given per-chunk budgets
-// (wall clock in milliseconds and conflict count, 0 = unbounded): true
-// when the budget the chunk exhausted has been lifted or strictly
-// raised. Definite verdicts and records without a recorded budget are
-// never retried — the latter cannot prove the new budget is larger.
-func (r ChunkRecord) RetryUnder(timeoutMillis, conflicts int64) bool {
+// (wall clock in milliseconds, conflict count, memory in MiB; 0 =
+// unbounded): true when the budget the chunk exhausted has been lifted
+// or strictly raised. Definite verdicts and records without a recorded
+// budget are never retried — the latter cannot prove the new budget is
+// larger.
+func (r ChunkRecord) RetryUnder(timeoutMillis, conflicts, memMB int64) bool {
 	switch r.Cause {
 	case "timeout": // sat.CauseTimeout.String()
 		return timeoutMillis == 0 || (r.TimeoutMillis > 0 && timeoutMillis > r.TimeoutMillis)
 	case "conflict-budget": // sat.CauseConflictBudget.String()
 		return conflicts == 0 || (r.Conflicts > 0 && conflicts > r.Conflicts)
+	case "memory": // sat.CauseMemory.String()
+		return memMB == 0 || (r.MemBudgetMB > 0 && memMB > r.MemBudgetMB)
 	}
 	return false
 }
@@ -142,14 +169,19 @@ func (r ChunkRecord) RetryUnder(timeoutMillis, conflicts int64) bool {
 // use; Commit serialises appends internally.
 type Journal struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         File
 	path      string
 	manifest  Manifest
 	committed []ChunkRecord
 	truncated int64 // torn-tail bytes dropped by Open (diagnostics)
-	closed    bool
-	tracer    *obs.Tracer
-	parent    *obs.Span
+	// goodEnd is the offset just past the last durable record — the
+	// rollback point if a later append fails and seals the journal.
+	goodEnd int64
+	sealed  bool
+	sealErr error
+	closed  bool
+	tracer  *obs.Tracer
+	parent  *obs.Span
 }
 
 // SetTracer attaches a tracer so each Commit emits a "journal_commit"
@@ -189,6 +221,27 @@ func Open(path string, m Manifest) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
+	j, err := OpenFile(f, path, m)
+	if err != nil {
+		return nil, err
+	}
+	// Durability of the file's existence, not just its contents: fsync
+	// the parent directory so a newly created journal survives power
+	// loss (a create followed only by file fsyncs leaves the directory
+	// entry unjournalled on some filesystems). Best-effort — directory
+	// fsync is not supported everywhere.
+	if j.Commits() == 0 && j.TruncatedBytes() == 0 {
+		syncDir(path)
+	}
+	return j, nil
+}
+
+// OpenFile opens a journal over an already-open File — the fault-
+// injection seam: tests wrap a real file in a failing writer to
+// exercise ENOSPC sealing without filling a disk. The File must be
+// positioned at offset 0 and remain owned by the journal (Close closes
+// it).
+func OpenFile(f File, path string, m Manifest) (*Journal, error) {
 	j := &Journal{f: f, path: path, manifest: m}
 	st, err := f.Stat()
 	if err != nil {
@@ -207,6 +260,16 @@ func Open(path string, m Manifest) (*Journal, error) {
 		return nil, err
 	}
 	return j, nil
+}
+
+// syncDir fsyncs the directory containing path (best-effort).
+func syncDir(path string) {
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	dir.Sync()
+	dir.Close()
 }
 
 // Read replays the journal at path read-only, without manifest
@@ -231,10 +294,15 @@ func (j *Journal) initNew() error {
 	if err != nil {
 		return err
 	}
-	if err := j.appendRecord(recManifest, body); err != nil {
+	n, err := j.appendRecord(recManifest, body)
+	if err != nil {
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.goodEnd = int64(len(magic) + n)
+	return nil
 }
 
 // replay loads an existing file: manifest check, committed records,
@@ -267,6 +335,7 @@ func (j *Journal) replay() error {
 		}
 	}
 	j.committed = recs
+	j.goodEnd = goodEnd
 	_, err = j.f.Seek(0, io.SeekEnd)
 	return err
 }
@@ -365,15 +434,52 @@ func frameRecord(typ byte, body []byte) []byte {
 	return payload
 }
 
-// appendRecord frames and writes one record; the caller syncs.
-func (j *Journal) appendRecord(typ byte, body []byte) error {
-	_, err := j.f.Write(frameRecord(typ, body))
-	return err
+// appendRecord frames and writes one record, returning its on-disk
+// size; the caller syncs.
+func (j *Journal) appendRecord(typ byte, body []byte) (int, error) {
+	frame := frameRecord(typ, body)
+	if _, err := j.f.Write(frame); err != nil {
+		return 0, err
+	}
+	return len(frame), nil
+}
+
+// seal marks the journal read-only after a failed append and rolls the
+// file back to the last durable record, so the on-disk prefix remains
+// exactly the committed set. Rollback is best-effort: if even Truncate
+// fails (dead disk), Open's torn-tail repair heals the file on resume.
+// Called with j.mu held.
+func (j *Journal) seal(cause error) {
+	j.sealed = true
+	j.sealErr = cause
+	_ = j.f.Truncate(j.goodEnd)
+	_ = j.f.Sync()
+	_, _ = j.f.Seek(0, io.SeekEnd)
+}
+
+// Sealed reports whether a write failure has sealed the journal; once
+// sealed, every Commit returns ErrSealed and the committed set no
+// longer grows.
+func (j *Journal) Sealed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sealed
+}
+
+// SealCause returns the write error that sealed the journal (nil if it
+// is not sealed).
+func (j *Journal) SealCause() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sealErr
 }
 
 // Commit durably appends one chunk verdict: the record is written and
 // fsynced before Commit returns, so a verdict acknowledged to the rest
-// of the pipeline survives any subsequent crash.
+// of the pipeline survives any subsequent crash. A write or fsync
+// failure (ENOSPC, I/O error) seals the journal: the half-written
+// record is rolled back, this and every later Commit return an error
+// matching ErrSealed, and the file stays resumable.
 func (j *Journal) Commit(rec ChunkRecord) error {
 	body, err := json.Marshal(rec)
 	if err != nil {
@@ -383,6 +489,9 @@ func (j *Journal) Commit(rec ChunkRecord) error {
 	defer j.mu.Unlock()
 	if j.closed {
 		return fmt.Errorf("journal: commit on closed journal")
+	}
+	if j.sealed {
+		return fmt.Errorf("%w: %v", ErrSealed, j.sealErr)
 	}
 	commitAttrs := []obs.Attr{
 		obs.KV("from", rec.From), obs.KV("to", rec.To),
@@ -394,15 +503,19 @@ func (j *Journal) Commit(rec ChunkRecord) error {
 	} else {
 		sp = j.tracer.Start("journal_commit", commitAttrs...)
 	}
-	if err := j.appendRecord(recChunk, body); err != nil {
+	n, err := j.appendRecord(recChunk, body)
+	if err != nil {
+		j.seal(err)
 		sp.End(obs.KV("error", err.Error()))
-		return err
+		return fmt.Errorf("%w: %v", ErrSealed, err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.seal(err)
 		sp.End(obs.KV("error", err.Error()))
-		return err
+		return fmt.Errorf("%w: %v", ErrSealed, err)
 	}
 	sp.End()
+	j.goodEnd += int64(n)
 	j.committed = append(j.committed, rec)
 	return nil
 }
@@ -445,6 +558,11 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	if j.sealed {
+		// A sealed journal's disk is already misbehaving; don't let a
+		// failing final Sync mask the close.
+		return j.f.Close()
+	}
 	if err := j.f.Sync(); err != nil {
 		j.f.Close()
 		return err

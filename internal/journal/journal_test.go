@@ -234,23 +234,30 @@ func TestRetryUnder(t *testing.T) {
 		rec           ChunkRecord
 		timeoutMillis int64
 		conflicts     int64
+		memMB         int64
 		want          bool
 	}{
-		{"definite verdicts never retry", ChunkRecord{Verdict: "UNSAT"}, 0, 0, false},
-		{"same timeout terminal", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 500, 0, false},
-		{"smaller timeout terminal", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 100, 0, false},
-		{"raised timeout retries", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 501, 0, true},
-		{"lifted timeout retries", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 0, 0, true},
-		{"unrecorded timeout budget terminal", ChunkRecord{Cause: "timeout"}, 900, 0, false},
-		{"unrecorded budget, lifted now, retries", ChunkRecord{Cause: "timeout"}, 0, 0, true},
-		{"same conflicts terminal", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 64, false},
-		{"raised conflicts retries", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 65, true},
-		{"lifted conflicts retries", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 0, true},
-		{"causes do not cross: timeout ignores conflicts", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 500, 1 << 30, false},
+		{"definite verdicts never retry", ChunkRecord{Verdict: "UNSAT"}, 0, 0, 0, false},
+		{"same timeout terminal", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 500, 0, 0, false},
+		{"smaller timeout terminal", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 100, 0, 0, false},
+		{"raised timeout retries", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 501, 0, 0, true},
+		{"lifted timeout retries", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 0, 0, 0, true},
+		{"unrecorded timeout budget terminal", ChunkRecord{Cause: "timeout"}, 900, 0, 0, false},
+		{"unrecorded budget, lifted now, retries", ChunkRecord{Cause: "timeout"}, 0, 0, 0, true},
+		{"same conflicts terminal", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 64, 0, false},
+		{"raised conflicts retries", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 65, 0, true},
+		{"lifted conflicts retries", ChunkRecord{Cause: "conflict-budget", Conflicts: 64}, 0, 0, 0, true},
+		{"causes do not cross: timeout ignores conflicts", ChunkRecord{Cause: "timeout", TimeoutMillis: 500}, 500, 1 << 30, 0, false},
+		{"same mem budget terminal", ChunkRecord{Cause: "memory", MemBudgetMB: 64}, 0, 0, 64, false},
+		{"smaller mem budget terminal", ChunkRecord{Cause: "memory", MemBudgetMB: 64}, 0, 0, 32, false},
+		{"raised mem budget retries", ChunkRecord{Cause: "memory", MemBudgetMB: 64}, 0, 0, 128, true},
+		{"lifted mem budget retries", ChunkRecord{Cause: "memory", MemBudgetMB: 64}, 0, 0, 0, true},
+		{"unrecorded mem budget terminal", ChunkRecord{Cause: "memory"}, 0, 0, 512, false},
+		{"causes do not cross: memory ignores conflicts", ChunkRecord{Cause: "memory", MemBudgetMB: 64}, 0, 1 << 30, 64, false},
 	}
 	for _, c := range cases {
-		if got := c.rec.RetryUnder(c.timeoutMillis, c.conflicts); got != c.want {
-			t.Errorf("%s: RetryUnder(%d, %d) = %v, want %v", c.name, c.timeoutMillis, c.conflicts, got, c.want)
+		if got := c.rec.RetryUnder(c.timeoutMillis, c.conflicts, c.memMB); got != c.want {
+			t.Errorf("%s: RetryUnder(%d, %d, %d) = %v, want %v", c.name, c.timeoutMillis, c.conflicts, c.memMB, got, c.want)
 		}
 	}
 }

@@ -164,6 +164,10 @@ func CreateReplica(path string) (*Replica, error) {
 		f.Close()
 		return nil, err
 	}
+	// Make the replica file's directory entry durable too: a standby
+	// that acknowledged replicated records must still find its copy
+	// after power loss, not just after process death.
+	syncDir(path)
 	return &Replica{f: f, path: path}, nil
 }
 

@@ -17,6 +17,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,8 +36,10 @@ type InstanceResult struct {
 	// Status is the instance verdict (Unknown if cancelled).
 	Status sat.Status
 	// Cause classifies an Unknown status: cancelled (context done or a
-	// sibling won), timeout (ChunkTimeout expired), or conflict-budget
-	// (ChunkConflicts exhausted). CauseNone for definite verdicts.
+	// sibling won), timeout (ChunkTimeout expired), conflict-budget
+	// (ChunkConflicts exhausted), or memory (MemBudgetMB exhausted or
+	// the external MemAbort watchdog fired). CauseNone for definite
+	// verdicts.
 	Cause sat.StopCause
 	// Resumed marks a verdict replayed from the journal rather than
 	// solved in this run.
@@ -82,6 +85,13 @@ type Result struct {
 	// Certified reports that every UNSAT instance's refutation proof
 	// checked (only meaningful with Options.CertifyUnsat).
 	Certified bool
+	// JournalSealed reports that the journal sealed itself after a write
+	// failure (ENOSPC, I/O error) mid-run: the remaining verdicts were
+	// computed journal-less — still correct, no longer crash-durable.
+	// Callers should surface it loudly.
+	JournalSealed bool
+	// JournalSealCause is the write error that sealed the journal.
+	JournalSealCause string
 }
 
 // Options configures the parallel run.
@@ -112,6 +122,17 @@ type Options struct {
 	// instance reports Unknown with CauseConflictBudget (0 = unbounded).
 	// If Solver.MaxConflicts is also set, the smaller bound applies.
 	ChunkConflicts int64
+	// MemBudgetMB bounds each instance's approximate solver footprint in
+	// MiB; an instance that cannot shrink back under it reports Unknown
+	// with CauseMemory (0 = unbounded). If Solver.MemBudgetMB is also
+	// set, the smaller bound applies.
+	MemBudgetMB int64
+	// MemAbort, when non-nil, is an external memory kill-switch (an RSS
+	// watchdog): once it becomes receivable (typically by closing it),
+	// every live and future solver of this run is aborted with
+	// cause=memory — the budgeted, journalable analogue of
+	// cancellation, fired before the OOM-killer can.
+	MemAbort <-chan struct{}
 	// Journal, when non-nil, makes the run crash-safe: committed UNSAT
 	// and budget-Unknown verdicts are skipped on resume (their recorded
 	// outcome is replayed into Instances), every newly decided or
@@ -160,18 +181,22 @@ func (o *Options) solverOptions(part int) sat.Options {
 	if o.ChunkConflicts > 0 && (sOpts.MaxConflicts == 0 || sOpts.MaxConflicts > o.ChunkConflicts) {
 		sOpts.MaxConflicts = o.ChunkConflicts
 	}
+	if o.MemBudgetMB > 0 && (sOpts.MemBudgetMB == 0 || sOpts.MemBudgetMB > o.MemBudgetMB) {
+		sOpts.MemBudgetMB = o.MemBudgetMB
+	}
 	sOpts.ProgressEvery = o.ProgressEvery
 	return sOpts
 }
 
-// rederiveOptions is solverOptions without any conflict budget: the
-// journal's SAT verdict is already durable, so the re-solve that
-// recovers its model must not be cut short by this run's (possibly
+// rederiveOptions is solverOptions without any conflict or memory
+// budget: the journal's SAT verdict is already durable, so the re-solve
+// that recovers its model must not be cut short by this run's (possibly
 // smaller) budgets — a budget-starved re-solve would otherwise demote
 // a committed counterexample to Unknown.
 func (o *Options) rederiveOptions(part int) sat.Options {
 	sOpts := o.solverOptions(part)
 	sOpts.MaxConflicts = 0
+	sOpts.MemBudgetMB = 0
 	return sOpts
 }
 
@@ -184,7 +209,8 @@ func (o *Options) replayable(rec journal.ChunkRecord, part int) bool {
 	if statusFromString(rec.Verdict) != sat.Unknown {
 		return true
 	}
-	return !rec.RetryUnder(o.ChunkTimeout.Milliseconds(), o.solverOptions(part).MaxConflicts)
+	sOpts := o.solverOptions(part)
+	return !rec.RetryUnder(o.ChunkTimeout.Milliseconds(), sOpts.MaxConflicts, sOpts.MemBudgetMB)
 }
 
 // committedRecords indexes the journal's committed set by partition for
@@ -222,8 +248,10 @@ func (o *Options) commit(inst InstanceResult) error {
 		Millis:  inst.Time.Milliseconds(),
 	}
 	if inst.Cause.Budgeted() {
+		sOpts := o.solverOptions(inst.Partition)
 		rec.TimeoutMillis = o.ChunkTimeout.Milliseconds()
-		rec.Conflicts = o.solverOptions(inst.Partition).MaxConflicts
+		rec.Conflicts = sOpts.MaxConflicts
+		rec.MemBudgetMB = sOpts.MemBudgetMB
 	}
 	return o.Journal.Commit(rec)
 }
@@ -335,6 +363,25 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 		interruptAll()
 	}()
 
+	// External memory kill-switch: once fired, every live solver is
+	// aborted with cause=memory, and solvers registered later are
+	// aborted on registration (closing the fire/register race).
+	var memAborted atomic.Bool
+	if opts.MemAbort != nil {
+		go func() {
+			select {
+			case <-opts.MemAbort:
+				memAborted.Store(true)
+				mu.Lock()
+				for _, s := range live {
+					s.InterruptMemory()
+				}
+				mu.Unlock()
+			case <-solveCtx.Done():
+			}
+		}()
+	}
+
 	for _, pt := range todo {
 		pt := pt
 		wg.Add(1)
@@ -383,6 +430,9 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			mu.Lock()
 			live = append(live, solver)
 			mu.Unlock()
+			if memAborted.Load() {
+				solver.InterruptMemory()
+			}
 
 			// Wall-clock budget: a timer interrupt distinguishable from
 			// cancellation by the timedOut flag.
@@ -399,7 +449,13 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			status, err := solver.Solve(pt.Assumptions...)
 			elapsed := time.Since(t0)
 			cause := sat.CauseNone
-			if err == sat.ErrInterrupted {
+			if err == sat.ErrMemBudget {
+				// Memory exhaustion — the solver's own budget or the
+				// external watchdog — is terminal budget exhaustion,
+				// journaled like a conflict-budget give-up.
+				status = sat.Unknown
+				cause = sat.CauseMemory
+			} else if err == sat.ErrInterrupted {
 				status = sat.Unknown
 				// The timer may fire while the solver is being interrupted
 				// for cancellation (sibling SAT win or signal); trusting
@@ -441,13 +497,26 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			// result, so a crash after this point can only lose work the
 			// journal already holds — never claim work it lost.
 			if cerr := opts.commit(inst); cerr != nil {
-				mu.Lock()
-				if journalErr == nil {
-					journalErr = cerr
+				if errors.Is(cerr, journal.ErrSealed) {
+					// Full disk is not a wrong verdict: degrade loudly to
+					// journal-less operation and keep solving. The journal
+					// rolled the failed record back, so a later resume
+					// re-solves exactly the unjournalled partitions.
+					mu.Lock()
+					if !res.JournalSealed {
+						res.JournalSealed = true
+						res.JournalSealCause = cerr.Error()
+					}
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					if journalErr == nil {
+						journalErr = cerr
+					}
+					mu.Unlock()
+					cancel()
+					return
 				}
-				mu.Unlock()
-				cancel()
-				return
 			}
 
 			mu.Lock()

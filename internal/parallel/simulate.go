@@ -89,7 +89,10 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 		status, err := solver.Solve(pt.Assumptions...)
 		times[i] = time.Since(t0)
 		cause := sat.CauseNone
-		if err == sat.ErrInterrupted {
+		if err == sat.ErrMemBudget {
+			status = sat.Unknown
+			cause = sat.CauseMemory
+		} else if err == sat.ErrInterrupted {
 			status = sat.Unknown
 			if timedOut.Load() {
 				cause = sat.CauseTimeout

@@ -63,6 +63,11 @@ type Options struct {
 	// as CauseConflictBudget (0 = unbounded). If Solver.MaxConflicts is
 	// also set, the smaller bound applies.
 	InstanceConflicts int64
+	// InstanceMemMB bounds each instance's approximate solver footprint
+	// in MiB, recorded as CauseMemory when the instance cannot shrink
+	// back under it (0 = unbounded). If Solver.MemBudgetMB is also set,
+	// the smaller bound applies.
+	InstanceMemMB int64
 	// Progress, when non-nil and ProgressEvery > 0, receives live
 	// search statistics for an instance every ProgressEvery conflicts,
 	// invoked from that instance's solver goroutine. The snapshot's
@@ -89,8 +94,9 @@ type Result struct {
 	// Stats are the per-instance search statistics.
 	Stats []sat.Stats
 	// Causes classifies each instance's Unknown outcome (cancelled,
-	// timeout, conflict-budget; CauseNone for a definite verdict), so a
-	// fully Unknown portfolio run names the exhausted budget.
+	// timeout, conflict-budget, memory; CauseNone for a definite
+	// verdict), so a fully Unknown portfolio run names the exhausted
+	// budget.
 	Causes []sat.StopCause
 }
 
@@ -198,6 +204,10 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 				(sOpts.MaxConflicts == 0 || sOpts.MaxConflicts > opts.InstanceConflicts) {
 				sOpts.MaxConflicts = opts.InstanceConflicts
 			}
+			if opts.InstanceMemMB > 0 &&
+				(sOpts.MemBudgetMB == 0 || sOpts.MemBudgetMB > opts.InstanceMemMB) {
+				sOpts.MemBudgetMB = opts.InstanceMemMB
+			}
 			s := sat.NewFromFormula(f, sOpts)
 			if opts.Progress != nil && opts.ProgressEvery > 0 {
 				s.Progress = func(st sat.Stats) { opts.Progress(i, st) }
@@ -229,7 +239,10 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 
 			status, err := s.Solve()
 			cause := sat.CauseNone
-			if err == sat.ErrInterrupted {
+			if err == sat.ErrMemBudget {
+				status = sat.Unknown
+				cause = sat.CauseMemory
+			} else if err == sat.ErrInterrupted {
 				status = sat.Unknown
 				// As in parallel.Solve: when the timer races the
 				// cancellation interrupt, report cancelled — the verdict

@@ -96,6 +96,10 @@ type Report struct {
 	// back in result messages). Extra JSONL files merge in at render
 	// time.
 	Spans []obs.Event `json:"spans,omitempty"`
+	// Warnings are degradation notices the run survived but the reader
+	// must know about — a sealed journal (lost crash resumability), a
+	// fleet that aborted chunks on memory. Rendered prominently.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Recorder accumulates a Report while a run executes. All methods are
@@ -234,6 +238,23 @@ func (r *Recorder) Finish(row PartitionRow) {
 	}
 }
 
+// Warn records one degradation notice. Duplicate messages collapse to
+// the first occurrence: a seal that degrades a thousand commits is one
+// fact, not a thousand lines.
+func (r *Recorder) Warn(msg string) {
+	if r == nil || msg == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.rep.Warnings {
+		if w == msg {
+			return
+		}
+	}
+	r.rep.Warnings = append(r.rep.Warnings, msg)
+}
+
 // AddSpans appends span events (a worker's collected job spans, or the
 // run's own collector at shutdown).
 func (r *Recorder) AddSpans(events []obs.Event) {
@@ -278,6 +299,7 @@ func (r *Recorder) Build() *Report {
 	rep.Spans = append([]obs.Event(nil), rep.Spans...)
 	rep.Snapshots = append([]Snapshot(nil), rep.Snapshots...)
 	rep.Profiles = append([]ProfileRecord(nil), rep.Profiles...)
+	rep.Warnings = append([]string(nil), rep.Warnings...)
 	return &rep
 }
 
@@ -324,6 +346,12 @@ func Render(w io.Writer, rep *Report, extraSpans ...[]obs.Event) {
 	}
 	if rep.Verdict != "" {
 		fmt.Fprintf(w, "Verdict: %s in %d ms\n", rep.Verdict, rep.WallMillis)
+	}
+	if len(rep.Warnings) > 0 {
+		fmt.Fprintf(w, "\nWARNINGS (%d):\n", len(rep.Warnings))
+		for _, msg := range rep.Warnings {
+			fmt.Fprintf(w, "  ! %s\n", msg)
+		}
 	}
 
 	fmt.Fprintf(w, "\nPartition imbalance (%d partitions):\n", len(rep.Partitions))

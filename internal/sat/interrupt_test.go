@@ -109,7 +109,7 @@ func TestInterruptClearCycle(t *testing.T) {
 }
 
 func TestStopCauseStringsRoundTrip(t *testing.T) {
-	for _, c := range []StopCause{CauseNone, CauseCancelled, CauseTimeout, CauseConflictBudget} {
+	for _, c := range []StopCause{CauseNone, CauseCancelled, CauseTimeout, CauseConflictBudget, CauseMemory} {
 		if got := ParseStopCause(c.String()); got != c {
 			t.Fatalf("round trip %v -> %q -> %v", c, c.String(), got)
 		}
@@ -117,7 +117,7 @@ func TestStopCauseStringsRoundTrip(t *testing.T) {
 	if CauseCancelled.Budgeted() || CauseNone.Budgeted() {
 		t.Fatal("cancelled/none must not count as budget exhaustion")
 	}
-	if !CauseTimeout.Budgeted() || !CauseConflictBudget.Budgeted() {
-		t.Fatal("timeout/conflict-budget must count as budget exhaustion")
+	if !CauseTimeout.Budgeted() || !CauseConflictBudget.Budgeted() || !CauseMemory.Budgeted() {
+		t.Fatal("timeout/conflict-budget/memory must count as budget exhaustion")
 	}
 }

@@ -14,6 +14,7 @@ func TestStatsAddLaws(t *testing.T) {
 		MaxDepth: 7, Backjumps: 3, Learnt: 4, LearntLits: 40,
 		Minimised: 6, Simplified: 1, ElimVars: 2,
 		LearntDeleted: 3, LearntDB: 9, Progress: 0.25,
+		MemBytes: 1 << 20, PeakMemBytes: 2 << 20, MemShrinks: 1,
 	}
 	a.LBDHist = LBDHistogram{1, 2, 0, 0, 0, 0, 0, 0, 1}
 	b := Stats{
@@ -21,6 +22,7 @@ func TestStatsAddLaws(t *testing.T) {
 		MaxDepth: 5, Backjumps: 6, Learnt: 7, LearntLits: 8,
 		Minimised: 9, Simplified: 10, ElimVars: 11,
 		LearntDeleted: 12, LearntDB: 13, Progress: 0.75,
+		MemBytes: 3 << 20, PeakMemBytes: 5 << 20, MemShrinks: 2,
 	}
 	b.LBDHist = LBDHistogram{0, 1, 1, 0, 0, 0, 0, 0, 2}
 
@@ -40,6 +42,9 @@ func TestStatsAddLaws(t *testing.T) {
 		"ElimVars":      {sum.ElimVars, a.ElimVars + b.ElimVars},
 		"LearntDeleted": {sum.LearntDeleted, a.LearntDeleted + b.LearntDeleted},
 		"LearntDB":      {sum.LearntDB, a.LearntDB + b.LearntDB},
+		"MemBytes":      {sum.MemBytes, a.MemBytes + b.MemBytes},
+		"PeakMemBytes":  {sum.PeakMemBytes, a.PeakMemBytes + b.PeakMemBytes},
+		"MemShrinks":    {sum.MemShrinks, a.MemShrinks + b.MemShrinks},
 	}
 	for name, got := range wantCounters {
 		if got[0] != got[1] {

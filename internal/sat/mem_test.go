@@ -1,0 +1,131 @@
+package sat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// The incremental live-byte accounting must track clause adds, learnt
+// clauses, and variable growth, and the Stats snapshot must mirror the
+// accessor values.
+func TestMemAccountingTracksFootprint(t *testing.T) {
+	s := NewFromFormula(pigeonhole(5), Options{})
+	base := s.LiveBytes()
+	if base <= 0 {
+		t.Fatalf("base footprint %d, want > 0", base)
+	}
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Fatalf("verdict %v, want Unsat", st)
+	}
+	if s.PeakBytes() < s.LiveBytes() || s.PeakBytes() < base {
+		t.Fatalf("peak %d below live %d / base %d", s.PeakBytes(), s.LiveBytes(), base)
+	}
+	stats := s.Stats()
+	if stats.MemBytes != s.LiveBytes() || stats.PeakMemBytes != s.PeakBytes() {
+		t.Fatalf("stats snapshot (%d, %d) disagrees with accessors (%d, %d)",
+			stats.MemBytes, stats.PeakMemBytes, s.LiveBytes(), s.PeakBytes())
+	}
+	if stats.Learnt > 0 && s.PeakBytes() <= base {
+		t.Fatal("learnt clauses did not move the peak above the base footprint")
+	}
+}
+
+// reduceDB must give back the bytes of the clauses it deletes: the
+// accounting shrinks by exactly the deleted clauses' cost.
+func TestMemAccountingReduceDBRefunds(t *testing.T) {
+	s := New(20, Options{})
+	for v := cnf.Var(1); v+2 <= 20; v += 3 {
+		s.recordLearnt([]cnf.Lit{cnf.PosLit(v), cnf.PosLit(v + 1), cnf.PosLit(v + 2)}, 3)
+	}
+	before := s.LiveBytes()
+	deletedBefore := s.stats.LearntDeleted
+	s.reduceDB()
+	deleted := s.stats.LearntDeleted - deletedBefore
+	if deleted == 0 {
+		t.Fatal("reduceDB deleted nothing")
+	}
+	want := before - deleted*clauseBytes(3)
+	if got := s.LiveBytes(); got != want {
+		t.Fatalf("live bytes after reduceDB: %d, want %d (deleted %d clauses)", got, want, deleted)
+	}
+}
+
+// A solver whose footprint exceeds the budget and cannot shrink its way
+// back (nothing learnt to throw away) must stop with ErrMemBudget at
+// the first conflict boundary.
+func TestMemBudgetHardStop(t *testing.T) {
+	s := NewFromFormula(pigeonhole(7), Options{MemBudgetMB: 1})
+	// Pad the variable set so the irreducible base footprint alone is
+	// over the 1 MiB budget: shrinking cannot recover it.
+	s.growTo(12000)
+	st, err := s.Solve()
+	if err != ErrMemBudget {
+		t.Fatalf("err %v, want ErrMemBudget", err)
+	}
+	if st != Unknown {
+		t.Fatalf("status %v, want Unknown", st)
+	}
+}
+
+// shrinkForMem is the degrade step: when the learnt DB is what pushed
+// the footprint over budget, emergency reductions must recover it and
+// count a MemShrinks event, without stopping the solve.
+func TestMemBudgetShrinkRecovers(t *testing.T) {
+	s := New(0, Options{MemBudgetMB: 1})
+	// Base below budget, learnt DB pushes it over: 8000 ternary learnts
+	// ≈ 8000 × clauseBytes(3) ≈ 1.1 MiB on top of a small base.
+	s.growTo(30)
+	for i := 0; i < 8000; i++ {
+		v := cnf.Var(1 + (i % 28))
+		s.recordLearnt([]cnf.Lit{cnf.PosLit(v), cnf.NegLit(v + 1), cnf.PosLit(v + 2)}, 3)
+	}
+	if !s.overMemBudget() {
+		t.Fatalf("setup: %d bytes not over the 1 MiB budget", s.LiveBytes())
+	}
+	if !s.shrinkForMem() {
+		t.Fatalf("shrink failed to recover the budget (live %d)", s.LiveBytes())
+	}
+	if s.overMemBudget() {
+		t.Fatalf("still over budget after successful shrink: %d", s.LiveBytes())
+	}
+	if s.stats.MemShrinks == 0 {
+		t.Fatal("no MemShrinks recorded")
+	}
+}
+
+// InterruptMemory mid-search must surface as ErrMemBudget — terminal
+// budget exhaustion — not ErrInterrupted, and ClearInterrupt must
+// disarm the memory flag so a later plain Interrupt reports plain
+// cancellation again.
+func TestInterruptMemoryMidSearch(t *testing.T) {
+	s := NewFromFormula(pigeonhole(9), Options{})
+	done := make(chan struct{})
+	var st Status
+	var serr error
+	go func() {
+		st, serr = s.Solve()
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	s.InterruptMemory()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("solver did not react to InterruptMemory")
+	}
+	if serr != ErrMemBudget || st != Unknown {
+		t.Fatalf("status %v err %v, want Unknown/ErrMemBudget", st, serr)
+	}
+
+	s.ClearInterrupt()
+	s.Interrupt()
+	if _, err := s.Solve(); err != ErrInterrupted {
+		t.Fatalf("plain interrupt after clear: err %v, want ErrInterrupted", err)
+	}
+}

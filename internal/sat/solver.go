@@ -42,6 +42,14 @@ func (s Status) String() string {
 // ErrInterrupted is returned by Solve when the solver was cancelled.
 var ErrInterrupted = errors.New("sat: solver interrupted")
 
+// ErrMemBudget is returned by Solve when the solver exceeded its memory
+// budget (Options.MemBudgetMB) and emergency learnt-DB shrinking could
+// not bring it back under, or when an external memory watchdog aborted
+// the solve via InterruptMemory. Like conflict-budget exhaustion it is
+// terminal under the same budget: rerunning with the same limit gives
+// up again.
+var ErrMemBudget = errors.New("sat: memory budget exhausted")
+
 // StopCause classifies why a solve ended Unknown, so callers can tell a
 // run that was cancelled (sibling found SAT, context done) from one
 // that exhausted a per-chunk resource budget. The layers above the
@@ -61,6 +69,11 @@ const (
 	CauseTimeout
 	// CauseConflictBudget: the chunk's conflict budget was exhausted.
 	CauseConflictBudget
+	// CauseMemory: the chunk's memory budget was exhausted — either the
+	// solver's own live-byte accounting crossed Options.MemBudgetMB after
+	// emergency learnt-DB shrinking, or an external RSS watchdog aborted
+	// the solve before the OOM-killer could.
+	CauseMemory
 )
 
 func (c StopCause) String() string {
@@ -71,6 +84,8 @@ func (c StopCause) String() string {
 		return "timeout"
 	case CauseConflictBudget:
 		return "conflict-budget"
+	case CauseMemory:
+		return "memory"
 	default:
 		return ""
 	}
@@ -85,17 +100,19 @@ func ParseStopCause(s string) StopCause {
 		return CauseTimeout
 	case "conflict-budget":
 		return CauseConflictBudget
+	case "memory":
+		return CauseMemory
 	default:
 		return CauseNone
 	}
 }
 
 // Budgeted reports whether the cause is a deterministic budget
-// exhaustion (timeout or conflict budget) rather than cancellation —
-// the distinction between "this chunk is known-hard under the current
-// budgets" and "this chunk simply was not finished".
+// exhaustion (timeout, conflict budget, or memory budget) rather than
+// cancellation — the distinction between "this chunk is known-hard
+// under the current budgets" and "this chunk simply was not finished".
 func (c StopCause) Budgeted() bool {
-	return c == CauseTimeout || c == CauseConflictBudget
+	return c == CauseTimeout || c == CauseConflictBudget || c == CauseMemory
 }
 
 // Stats collects search statistics. The decision/depth/backjump counters
@@ -137,6 +154,23 @@ type Stats struct {
 	// total: Add takes the maximum, reporting the furthest-along
 	// instance of an aggregate.
 	Progress float64
+
+	// MemBytes is the solver's approximate live footprint (clause
+	// arenas, learnt DB, watches, per-variable state) at the last
+	// snapshot, same cadence as LearntDB. Like LearntDB it is a level
+	// that Add sums: the aggregate is the combined footprint of the
+	// ensemble.
+	MemBytes int64
+
+	// PeakMemBytes is the high-water mark of MemBytes over the solve.
+	// Add sums it too — peaks of concurrent instances can coincide, so
+	// the sum is the safe (worst-case) combined peak.
+	PeakMemBytes int64
+
+	// MemShrinks counts emergency learnt-DB reductions forced by the
+	// memory budget (degrade-before-dying events), as opposed to the
+	// ordinary size-triggered reduceDB cadence.
+	MemShrinks int64
 }
 
 // Add accumulates o into s. The aggregation laws (locked in by
@@ -144,8 +178,9 @@ type Stats struct {
 //
 //   - counters sum: Decisions, Conflicts, Propagations, Restarts,
 //     Backjumps, Learnt, LearntLits, Minimised, Simplified, ElimVars,
-//     LearntDeleted, and LearntDB (combined DB footprint), plus LBDHist
-//     bucket-wise;
+//     LearntDeleted, MemShrinks, and the footprint levels LearntDB,
+//     MemBytes, PeakMemBytes (combined ensemble footprint), plus
+//     LBDHist bucket-wise;
 //   - MaxDepth and Progress take the maximum (deepest / furthest-along
 //     instance of the aggregate).
 //
@@ -167,6 +202,9 @@ func (s *Stats) Add(o Stats) {
 	s.ElimVars += o.ElimVars
 	s.LearntDeleted += o.LearntDeleted
 	s.LearntDB += o.LearntDB
+	s.MemBytes += o.MemBytes
+	s.PeakMemBytes += o.PeakMemBytes
+	s.MemShrinks += o.MemShrinks
 	s.LBDHist.Merge(o.LBDHist)
 	if o.Progress > s.Progress {
 		s.Progress = o.Progress
@@ -193,6 +231,12 @@ type Options struct {
 	Seed uint64
 	// MaxConflicts bounds the total number of conflicts (0 = unbounded).
 	MaxConflicts int64
+	// MemBudgetMB bounds the solver's approximate live footprint in
+	// mebibytes (0 = unbounded). When the accounting crosses the budget
+	// at a conflict boundary the solver first degrades — emergency
+	// learnt-DB shrinks — and only if still over budget stops with
+	// (Unknown, ErrMemBudget), the memory analogue of MaxConflicts.
+	MemBudgetMB int64
 	// NoPreprocess disables the inprocessing-free preprocessor pipeline when
 	// solving through SolveFormula helpers (the Solver itself never
 	// preprocesses implicitly).
@@ -225,6 +269,27 @@ type clause struct {
 type watcher struct {
 	c       *clause
 	blocker cnf.Lit
+}
+
+// Approximate per-object byte costs for the live-footprint accounting.
+// They deliberately over-count a little (slice headers, the two watcher
+// entries, allocator slack) so the budget errs on the safe side; the
+// goal is a stable, deterministic estimate that tracks the real heap
+// within tens of percent, not malloc-exact numbers.
+const (
+	litBytes = 8 // cnf.Lit is an int
+	// clauseOverheadBytes: the clause struct (slice header + act + lbd +
+	// learnt, padded), its pointer slot in clauses/learnts, and its two
+	// watcher entries.
+	clauseOverheadBytes = 120
+	// varOverheadBytes: per-variable state across watches (two slice
+	// headers), assigns/level/reason/polarity/frozen/activity/seen, the
+	// heap entry, and amortised trail capacity.
+	varOverheadBytes = 128
+)
+
+func clauseBytes(nlits int) int64 {
+	return clauseOverheadBytes + int64(nlits)*litBytes
 }
 
 const (
@@ -269,8 +334,20 @@ type Solver struct {
 	graph *DecisionGraph
 	proof *Proof
 
+	// liveBytes / peakBytes approximate the solver's live footprint
+	// (see clauseBytes/varOverheadBytes); maintained incrementally on
+	// clause add/learn/delete and variable growth. Only touched from
+	// the solving goroutine.
+	liveBytes int64
+	peakBytes int64
+
 	interrupt atomic.Bool
-	rngState  uint64
+	// memInterrupt marks an interrupt raised by an external memory
+	// watchdog (InterruptMemory): the solve stops with ErrMemBudget
+	// instead of ErrInterrupted, so the layers above classify it as
+	// terminal budget exhaustion, not retryable cancellation.
+	memInterrupt atomic.Bool
+	rngState     uint64
 
 	// ShareLearnt, if non-nil, is invoked for every learnt clause whose LBD
 	// is at most ShareMaxLBD; used by the portfolio baselines for clause
@@ -323,6 +400,7 @@ func (s *Solver) growTo(n int) {
 		s.activity = append(s.activity, 0)
 		s.seen = append(s.seen, 0)
 		s.order.push(cnf.Var(s.numVars), &s.activity)
+		s.addMem(varOverheadBytes)
 	}
 	// watches is indexed by Lit.Index() which starts at 2 for variable 1.
 	for len(s.watches) < 2*(s.numVars+1) {
@@ -372,6 +450,17 @@ func (s *Solver) ProgressEstimate() float64 {
 // (Unknown, ErrInterrupted). Safe to call from other goroutines.
 func (s *Solver) Interrupt() { s.interrupt.Store(true) }
 
+// InterruptMemory asynchronously aborts an in-flight Solve with memory
+// exhaustion: Solve returns (Unknown, ErrMemBudget) instead of
+// ErrInterrupted, so callers journal the chunk as a terminal
+// memory-budget Unknown. Used by external RSS watchdogs that see the
+// whole process approaching its limit. Safe to call from other
+// goroutines.
+func (s *Solver) InterruptMemory() {
+	s.memInterrupt.Store(true)
+	s.interrupt.Store(true)
+}
+
 // Interrupted reports whether the solver has been cancelled.
 func (s *Solver) Interrupted() bool { return s.interrupt.Load() }
 
@@ -379,7 +468,24 @@ func (s *Solver) Interrupted() bool { return s.interrupt.Load() }
 // solved again (MiniSat's clearInterrupt). It must not be called
 // concurrently with a Solve the caller still wants interrupted; the
 // usual sequence is Solve → ErrInterrupted → ClearInterrupt → Solve.
-func (s *Solver) ClearInterrupt() { s.interrupt.Store(false) }
+func (s *Solver) ClearInterrupt() {
+	s.interrupt.Store(false)
+	s.memInterrupt.Store(false)
+}
+
+// LiveBytes returns the solver's current approximate live footprint.
+func (s *Solver) LiveBytes() int64 { return s.liveBytes }
+
+// PeakBytes returns the high-water mark of LiveBytes over the solver's
+// lifetime.
+func (s *Solver) PeakBytes() int64 { return s.peakBytes }
+
+func (s *Solver) addMem(n int64) {
+	s.liveBytes += n
+	if s.liveBytes > s.peakBytes {
+		s.peakBytes = s.liveBytes
+	}
+}
 
 func (s *Solver) valueVar(v cnf.Var) int8 { return s.assigns[v-1] }
 
@@ -440,6 +546,7 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	cl := &clause{lits: c}
 	s.clauses = append(s.clauses, cl)
 	s.attach(cl)
+	s.addMem(clauseBytes(len(c)))
 	return true
 }
 
@@ -746,6 +853,7 @@ func (s *Solver) recordLearnt(lits []cnf.Lit, lbd int) *clause {
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.bumpClause(c)
+	s.addMem(clauseBytes(len(lits)))
 	return c
 }
 
@@ -767,6 +875,7 @@ func (s *Solver) reduceDB() {
 	for i, c := range s.learnts {
 		if i < limit && len(c.lits) > 2 && !s.isReason(c) {
 			s.detach(c)
+			s.addMem(-clauseBytes(len(c.lits)))
 			removed++
 		} else {
 			kept = append(kept, c)
@@ -774,6 +883,29 @@ func (s *Solver) reduceDB() {
 	}
 	s.learnts = kept
 	s.stats.LearntDeleted += int64(removed)
+}
+
+// overMemBudget reports whether the live footprint exceeds the
+// configured memory budget.
+func (s *Solver) overMemBudget() bool {
+	return s.opts.MemBudgetMB > 0 && s.liveBytes > s.opts.MemBudgetMB<<20
+}
+
+// shrinkForMem is the degrade-before-dying step: repeated emergency
+// learnt-DB reductions until the footprint is back under budget or the
+// DB stops shrinking (everything left is binary, reason, or base
+// formula — nothing more can go). Returns true if the budget was
+// recovered.
+func (s *Solver) shrinkForMem() bool {
+	for s.overMemBudget() {
+		before := len(s.learnts)
+		s.reduceDB()
+		if len(s.learnts) == before {
+			return false
+		}
+		s.stats.MemShrinks++
+	}
+	return true
 }
 
 func (s *Solver) isReason(c *clause) bool {
@@ -813,6 +945,9 @@ func (s *Solver) search(conflictBudget int64) (Status, error) {
 	var conflicts int64
 	for {
 		if s.interrupt.Load() {
+			if s.memInterrupt.Load() {
+				return Unknown, ErrMemBudget
+			}
 			return Unknown, ErrInterrupted
 		}
 		confl := s.propagate()
@@ -823,6 +958,8 @@ func (s *Solver) search(conflictBudget int64) (Status, error) {
 				s.stats.Conflicts%s.opts.ProgressEvery == 0 {
 				s.stats.Progress = s.ProgressEstimate()
 				s.stats.LearntDB = int64(len(s.learnts))
+				s.stats.MemBytes = s.liveBytes
+				s.stats.PeakMemBytes = s.peakBytes
 				s.Progress(s.stats)
 			}
 			if s.decisionLevel() == 0 {
@@ -842,6 +979,13 @@ func (s *Solver) search(conflictBudget int64) (Status, error) {
 			s.decayClause()
 			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
 				return Unknown, nil
+			}
+			// Memory only grows at conflicts (learnt clauses), so the
+			// budget check lives at the conflict boundary, like
+			// MaxConflicts: degrade first, stop only if that fails.
+			if s.overMemBudget() && !s.shrinkForMem() {
+				s.cancelUntil(0)
+				return Unknown, ErrMemBudget
 			}
 			continue
 		}
@@ -893,6 +1037,8 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) (Status, error) {
 	defer func() {
 		s.stats.Progress = s.ProgressEstimate()
 		s.stats.LearntDB = int64(len(s.learnts))
+		s.stats.MemBytes = s.liveBytes
+		s.stats.PeakMemBytes = s.peakBytes
 	}()
 	s.cancelUntil(0)
 	for _, a := range assumptions {
