@@ -65,6 +65,10 @@ func main() {
 		memBudget  = flag.Int64("mem-budget", 0, "per-partition solver memory budget on workers, in MiB (0: unbounded)")
 		memPause   = flag.Float64("mem-pause-ratio", 0, "pause job dispatch while any worker's heartbeat memory fill ratio is at or above this (default 0.95, negative disables)")
 		certify    = flag.String("certify", "full", "remote verdict certification: full | sample=N | off")
+		splitDepth = flag.Int("split-depth", 0, "adaptive cube splitting: max extra split bits per chunk (0 disables)")
+		splitGrace = flag.Duration("split-grace", 0, "minimum in-flight age before a chunk may be split or hedged (default 15s)")
+		splitHard  = flag.Float64("split-hardness", 0, "minimum live hardness before a chunk qualifies for splitting (0: any straggler past -split-grace)")
+		hedge      = flag.Bool("hedge", false, "speculatively re-dispatch the longest-running chunk to idle workers, racing duplicates")
 		lease      = flag.String("lease", "", "shared leadership lease file: run as an HA primary/standby pair (requires -journal)")
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "leadership lease duration; bounds the failover blackout")
 		holder     = flag.String("holder", "", "this coordinator's name in the lease (default: the listen address)")
@@ -213,6 +217,10 @@ func main() {
 		ChunkConflicts:    *chunkConfl,
 		MemBudgetMB:       *memBudget,
 		MemPauseRatio:     *memPause,
+		SplitDepth:        *splitDepth,
+		SplitGrace:        *splitGrace,
+		SplitHardness:     *splitHard,
+		Hedge:             *hedge,
 		JournalPath:       *journal,
 		Resume:            *resume,
 		Metrics:           metrics,
@@ -275,6 +283,10 @@ func main() {
 		res.Verdict, res.Winner, res.Jobs, res.Reassigned, res.Wall)
 	fmt.Printf("coverage: %d/%d chunks decided, %d resumed from journal\n",
 		res.ChunksDecided, res.ChunksTotal, res.Resumed)
+	if res.Splits > 0 || res.Hedges > 0 || res.Superseded > 0 {
+		fmt.Printf("adaptive scheduling: %d cubes split (depth %d), %d steals, %d hedged dispatches, %d superseded results discarded\n",
+			res.Splits, res.MaxCubeDepth, res.Steals, res.Hedges, res.Superseded)
+	}
 	for _, ex := range res.Exhausted {
 		fmt.Printf("budget exhausted: partitions [%d,%d] gave up on %s\n",
 			ex.Chunk.From, ex.Chunk.To, ex.Cause)

@@ -31,6 +31,10 @@ func main() {
 		dot   = flag.String("dot", "", "directory for Graphviz decision graphs (fig6)")
 		bench = flag.String("bench-out", "", "write Table 2 measurements as a BENCH_<date>.json perf-trajectory file")
 
+		splitDepth = flag.Int("split-depth", 0, "adaptive cube splitting in the Table 2 runs: max extra split bits (0 disables; real mode only)")
+		splitGrace = flag.Duration("split-grace", 0, "minimum solving age before a partition may be split (default 15s)")
+		splitHard  = flag.Float64("split-hardness", 0, "minimum live hardness before a partition qualifies for splitting")
+
 		compare   = flag.Bool("compare", false, "compare committed BENCH_*.json trajectory files instead of running experiments")
 		benchDir  = flag.String("bench-dir", ".", "directory holding BENCH_*.json files (-compare)")
 		candidate = flag.String("candidate", "", "compare this bench file against the latest committed one instead of the last two (-compare)")
@@ -45,6 +49,9 @@ func main() {
 
 	cfg := experiments.DefaultConfig()
 	cfg.Full = *full
+	cfg.SplitDepth = *splitDepth
+	cfg.SplitGrace = *splitGrace
+	cfg.SplitHardness = *splitHard
 	cfg.Cores = nil
 	for _, tok := range strings.Split(*cores, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))

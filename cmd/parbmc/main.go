@@ -74,6 +74,9 @@ func main() {
 		chunkTO    = flag.Duration("chunk-timeout", 0, "per-partition wall-clock budget (0: unbounded)")
 		chunkConfl = flag.Int64("chunk-conflicts", 0, "per-partition solver conflict budget (0: unbounded)")
 		memBudget  = flag.Int64("mem-budget", 0, "per-partition solver memory budget in MiB; over it the solver sheds learnt clauses, then records a memory-caused UNKNOWN (0: unbounded)")
+		splitDepth = flag.Int("split-depth", 0, "adaptive cube splitting: max extra split bits per partition (0 disables)")
+		splitGrace = flag.Duration("split-grace", 0, "minimum solving age before a partition may be split (default 15s)")
+		splitHard  = flag.Float64("split-hardness", 0, "minimum live hardness before a partition qualifies for splitting (0: any straggler past -split-grace)")
 		reportOut  = flag.String("report", "", "write the run's flight-recorder report (JSON) to this file; render with `parbmc report`")
 		profileDir = flag.String("profile-dir", "", "capture per-phase pprof CPU+heap profiles (encode, solve) into this directory")
 	)
@@ -170,6 +173,9 @@ func main() {
 		ChunkTimeout:   *chunkTO,
 		ChunkConflicts: *chunkConfl,
 		MemBudgetMB:    *memBudget,
+		SplitDepth:     *splitDepth,
+		SplitGrace:     *splitGrace,
+		SplitHardness:  *splitHard,
 		Profiler:       profiler,
 	})
 	if perr := profiler.Err(); perr != nil {
@@ -229,6 +235,9 @@ func main() {
 		fmt.Printf("solve:      %v\n", res.SolveTime)
 		if res.Resumed > 0 {
 			fmt.Printf("resumed:    %d partitions replayed from %s\n", res.Resumed, *journal)
+		}
+		if res.Splits > 0 || res.MaxCubeDepth > 0 {
+			fmt.Printf("splits:     %d adaptive cube splits (max depth %d)\n", res.Splits, res.MaxCubeDepth)
 		}
 		if !res.Coverage.Complete() || res.Resumed > 0 || *chunkTO > 0 || *chunkConfl > 0 || *memBudget > 0 {
 			fmt.Printf("coverage:   %v\n", res.Coverage)

@@ -15,7 +15,10 @@
 // The -fault-* flags drive the deterministic fault-injection harness
 // used to exercise the coordinator's retry and quarantine paths:
 // transport faults (drop/stall/corrupt/half-open at a chosen job
-// index), a solver panic (-fault-panic), and Byzantine faults that lie
+// index), a solver panic (-fault-panic), a deterministic straggler
+// delay (-fault-slow-ms, optionally scoped with -fault-slow-jobs) that
+// keeps heartbeating while the job drags — visible only to the
+// coordinator's adaptive scheduler — and Byzantine faults that lie
 // about a computed result (-fault-flip, -fault-bogus-model,
 // -fault-truncate-proof, -fault-oversize-proof) to exercise
 // certificate rejection.
@@ -29,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +64,8 @@ func main() {
 		bogusAt   = flag.Int("fault-bogus-model", -1, "claim UNSAFE with a garbage model at this job index (Byzantine)")
 		truncAt   = flag.Int("fault-truncate-proof", -1, "send a truncated certificate for this job (Byzantine)")
 		oversizAt = flag.Int("fault-oversize-proof", -1, "declare an oversized certificate for this job (Byzantine)")
+		slowMS    = flag.Int64("fault-slow-ms", 0, "artificial pre-solve delay in milliseconds per affected job; the straggler keeps heartbeating (0 disables)")
+		slowJobs  = flag.String("fault-slow-jobs", "", "comma-separated job indices to slow down (empty with -fault-slow-ms: every job)")
 	)
 	flag.Parse()
 
@@ -99,7 +106,7 @@ func main() {
 		{*truncAt, distrib.FaultTruncatedProof},
 		{*oversizAt, distrib.FaultOversizedProof},
 	}
-	anyFault := *stallAt >= 0 || *seed != 0
+	anyFault := *stallAt >= 0 || *seed != 0 || *slowMS > 0
 	for _, ff := range faultFlags {
 		anyFault = anyFault || ff.at >= 0
 	}
@@ -112,6 +119,22 @@ func main() {
 		}
 		if *stallAt >= 0 {
 			plan.Events = append(plan.Events, distrib.FaultEvent{Job: *stallAt, Kind: distrib.FaultStall, Stall: *stallFor})
+		}
+		if *slowMS > 0 {
+			d := time.Duration(*slowMS) * time.Millisecond
+			idxs, err := parseJobList(*slowJobs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "worker: -fault-slow-jobs: %v\n", err)
+				os.Exit(2)
+			}
+			if len(idxs) == 0 {
+				// A uniformly slow worker: every job it is handed drags.
+				plan.Every = &distrib.FaultEvent{Kind: distrib.FaultSlow, Slow: d}
+			} else {
+				for _, j := range idxs {
+					plan.Events = append(plan.Events, distrib.FaultEvent{Job: j, Kind: distrib.FaultSlow, Slow: d})
+				}
+			}
 		}
 	}
 
@@ -135,4 +158,20 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("worker: done, %d jobs completed\n", jobs)
+}
+
+// parseJobList parses a comma-separated list of job indices.
+func parseJobList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad job index %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -76,6 +76,11 @@ type Options struct {
 	// From/To restrict the analysis to the half-open partition index
 	// range [From, To) (distributed mode); From = To = 0 means all.
 	From, To int
+	// CubePath further refines the selected partitions with extra unit
+	// assumptions over the canonical partition.SplitLits sequence, one
+	// '0'/'1' polarity per character (adaptive cube splitting). Only
+	// meaningful for single-partition ranges; empty means no refinement.
+	CubePath string
 	// MaxThreads bounds static thread instances during unfolding.
 	MaxThreads int
 	// ZeroLocals zero-initialises locals (differential-testing mode).
@@ -129,6 +134,19 @@ type Options struct {
 	// instance is interrupted with CauseMemory, so the process sheds its
 	// biggest allocations before the kernel OOM-killer picks it.
 	MemAbort <-chan struct{}
+	// SplitDepth enables in-process adaptive cube splitting: an idle
+	// solver slot interrupts the hardest partition that has been solving
+	// for at least SplitGrace and splits its cube on the next canonical
+	// split literal, re-queueing both halves — up to SplitDepth extra
+	// path bits per partition (0 disables). See parallel.Options.
+	SplitDepth int
+	// SplitGrace is the minimum solving age before a partition may be
+	// split (default 15s when SplitDepth > 0).
+	SplitGrace time.Duration
+	// SplitHardness is the minimum live hardness score before a
+	// partition qualifies for splitting (0: any straggler past the
+	// grace).
+	SplitHardness float64
 	// JournalPath, when non-empty, records the run manifest and every
 	// partition verdict in a crash-safe append-only journal at that path,
 	// so an interrupted run can be resumed without re-solving committed
@@ -310,6 +328,10 @@ type Result struct {
 	// Resumed is the number of partition verdicts replayed from the
 	// journal instead of re-solved (JournalPath with Resume).
 	Resumed int
+	// Splits counts adaptive cube splits performed by this run;
+	// MaxCubeDepth is the deepest cube path reached (Options.SplitDepth).
+	Splits       int
+	MaxCubeDepth int
 	// JournalSealed reports that the resume journal hit a write or sync
 	// failure mid-run (disk full, I/O error) and sealed itself read-only;
 	// the run finished journal-less from that point, so crash resume
@@ -438,6 +460,12 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		MemBudgetMB: opts.MemBudgetMB, MemAbort: opts.MemAbort,
 		Journal: jnl,
 	}
+	if opts.SplitDepth > 0 {
+		popts.SplitDepth = opts.SplitDepth
+		popts.SplitGrace = opts.SplitGrace
+		popts.SplitHardness = opts.SplitHardness
+		popts.SplitLits = partition.SplitLits(enc, totalParts)
+	}
 	solveSpan := opts.phase("solve",
 		obs.KV("partitions", len(parts)), obs.KV("workers", opts.Cores),
 		obs.KV("vars", formula.NumVars), obs.KV("clauses", formula.NumClauses()))
@@ -489,18 +517,20 @@ func Verify(ctx context.Context, p *prog.Program, opts Options) (res *Result, er
 		procs[i] = th.Proc
 	}
 	res = &Result{
-		Certified:   pres.Certified,
-		Vars:        formula.NumVars,
-		Clauses:     formula.NumClauses(),
-		Threads:     len(enc.Program.Threads),
-		ThreadProcs: procs,
-		Partitions:  len(parts),
-		Winner:      pres.Winner,
-		EncodeTime:  encodeTime,
-		SolveTime:   pres.Wall,
-		Instances:   pres.Instances,
-		Coverage:    buildCoverage(len(parts), pres),
-		Resumed:     pres.Resumed,
+		Certified:    pres.Certified,
+		Vars:         formula.NumVars,
+		Clauses:      formula.NumClauses(),
+		Threads:      len(enc.Program.Threads),
+		ThreadProcs:  procs,
+		Partitions:   len(parts),
+		Winner:       pres.Winner,
+		EncodeTime:   encodeTime,
+		SolveTime:    pres.Wall,
+		Instances:    pres.Instances,
+		Coverage:     buildCoverage(len(parts), pres),
+		Resumed:      pres.Resumed,
+		Splits:       pres.Splits,
+		MaxCubeDepth: pres.MaxCubeDepth,
 	}
 	res.JournalSealed = pres.JournalSealed
 	res.SealCause = pres.JournalSealCause
@@ -619,6 +649,20 @@ func MakePartitions(enc *vc.Encoded, opts Options) (parts []partition.Partition,
 			return nil, 0, fmt.Errorf("core: invalid partition range [%d,%d) of %d", opts.From, opts.To, len(parts))
 		}
 		parts = parts[opts.From:opts.To]
+	}
+	if opts.CubePath != "" {
+		extra, perr := partition.PathAssumptions(opts.CubePath, partition.SplitLits(enc, total))
+		if perr != nil {
+			return nil, 0, fmt.Errorf("core: %w", perr)
+		}
+		refined := make([]partition.Partition, len(parts))
+		for i, pt := range parts {
+			refined[i] = partition.Partition{
+				Index:       pt.Index,
+				Assumptions: append(append([]cnf.Lit{}, pt.Assumptions...), extra...),
+			}
+		}
+		parts = refined
 	}
 	return parts, total, nil
 }

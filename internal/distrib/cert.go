@@ -253,6 +253,11 @@ type certVerifier struct {
 	enc     *vc.Encoded
 	formula *cnf.Formula
 	parts   []partition.Partition // indexed by absolute partition index
+	// splitLits is the canonical scheduler-bit sequence cube paths index
+	// into; both sides derive it deterministically from the encoding, so
+	// a sub-cube's extra assumptions are reconstructed here rather than
+	// trusted from the wire.
+	splitLits []cnf.Lit
 }
 
 // newCertVerifier encodes the program exactly as workers are instructed
@@ -268,11 +273,31 @@ func newCertVerifier(p *prog.Program, opts CoordinatorOptions) (*certVerifier, e
 	if err != nil {
 		return nil, fmt.Errorf("distrib: certification encoding failed: %w", err)
 	}
-	parts, _, err := core.MakePartitions(enc, copts)
+	parts, total, err := core.MakePartitions(enc, copts)
 	if err != nil {
 		return nil, fmt.Errorf("distrib: certification partitioning failed: %w", err)
 	}
-	return &certVerifier{enc: enc, formula: enc.Formula(), parts: parts}, nil
+	return &certVerifier{
+		enc:       enc,
+		formula:   enc.Formula(),
+		parts:     parts,
+		splitLits: partition.SplitLits(enc, total),
+	}, nil
+}
+
+// cubeAssumptions returns the partition's assumptions extended with the
+// cube path's scheduler-bit literals — the exact assumption set a worker
+// solving that sub-cube was instructed to use.
+func (v *certVerifier) cubeAssumptions(idx int, path string) ([]cnf.Lit, error) {
+	base := v.parts[idx].Assumptions
+	if path == "" {
+		return base, nil
+	}
+	extra, err := partition.PathAssumptions(path, v.splitLits)
+	if err != nil {
+		return nil, err
+	}
+	return append(append([]cnf.Lit{}, base...), extra...), nil
 }
 
 // litHolds evaluates a literal under the solver-convention model
@@ -282,16 +307,19 @@ func litHolds(l cnf.Lit, model []bool) bool {
 }
 
 // verifyUnsafe checks an UNSAFE claim end to end: the claimed winner
-// lies in the chunk, the shipped model satisfies every clause of the
-// coordinator's formula plus the winner partition's assumptions, and the
-// decoded counterexample replays to a real assertion violation on the
-// concrete interpreter.
-func (v *certVerifier) verifyUnsafe(chunk partition.Chunk, winner int, cert *Certificate) error {
+// lies in the cube, the shipped model satisfies every clause of the
+// coordinator's formula plus the winner partition's assumptions
+// (extended with the cube path's scheduler bits), and the decoded
+// counterexample replays to a real assertion violation on the concrete
+// interpreter. A model found under a sub-cube's extra assumptions still
+// satisfies the parent formula, so sub-cube verification composes: the
+// sub-cube's UNSAFE is the parent's UNSAFE.
+func (v *certVerifier) verifyUnsafe(cube partition.Cube, winner int, cert *Certificate) error {
 	if cert == nil || len(cert.Model) == 0 {
 		return fmt.Errorf("UNSAFE claim without a model certificate")
 	}
-	if winner < chunk.From || winner > chunk.To || winner >= len(v.parts) {
-		return fmt.Errorf("claimed winner %d outside chunk [%d,%d]", winner, chunk.From, chunk.To)
+	if winner < cube.From || winner > cube.To || winner >= len(v.parts) {
+		return fmt.Errorf("claimed winner %d outside cube %s", winner, cube.Key())
 	}
 	if cert.NumVars != v.formula.NumVars {
 		return fmt.Errorf("model covers %d vars, coordinator encoding has %d", cert.NumVars, v.formula.NumVars)
@@ -312,9 +340,13 @@ func (v *certVerifier) verifyUnsafe(chunk partition.Chunk, winner int, cert *Cer
 			return fmt.Errorf("claimed model falsifies clause %d of the coordinator's encoding", i)
 		}
 	}
-	for _, l := range v.parts[winner].Assumptions {
+	assumps, err := v.cubeAssumptions(winner, cube.Path)
+	if err != nil {
+		return fmt.Errorf("cube %s: %v", cube.Key(), err)
+	}
+	for _, l := range assumps {
 		if !litHolds(l, model) {
-			return fmt.Errorf("claimed model violates partition %d assumption %v", winner, l)
+			return fmt.Errorf("claimed model violates cube %s assumption %v", cube.Key(), l)
 		}
 	}
 	tr := trace.Decode(v.enc, model)
@@ -329,14 +361,18 @@ func (v *certVerifier) verifyUnsafe(chunk partition.Chunk, winner int, cert *Cer
 }
 
 // verifySafe checks a SAFE claim: the certificate must refute every
-// partition of the chunk with a RUP proof that checks against the
-// coordinator's formula under that partition's assumptions.
-func (v *certVerifier) verifySafe(chunk partition.Chunk, cert *Certificate) error {
+// partition of the cube with a RUP proof that checks against the
+// coordinator's formula under that partition's assumptions extended
+// with the cube path. Per-sub-cube proofs compose to cover the parent:
+// the two children of a split partition the parent's assumption space
+// exactly (same literal, both polarities), so refuting both children
+// refutes the parent.
+func (v *certVerifier) verifySafe(cube partition.Cube, cert *Certificate) error {
 	if cert == nil {
 		return fmt.Errorf("SAFE claim without a proof certificate")
 	}
-	if chunk.From < 0 || chunk.To >= len(v.parts) {
-		return fmt.Errorf("chunk [%d,%d] outside the coordinator's %d partitions", chunk.From, chunk.To, len(v.parts))
+	if cube.From < 0 || cube.To >= len(v.parts) {
+		return fmt.Errorf("cube %s outside the coordinator's %d partitions", cube.Key(), len(v.parts))
 	}
 	proofs := make(map[int]*sat.Proof, len(cert.Proofs))
 	for _, pp := range cert.Proofs {
@@ -345,13 +381,17 @@ func (v *certVerifier) verifySafe(chunk partition.Chunk, cert *Certificate) erro
 		}
 		proofs[pp.Partition] = pp.Proof
 	}
-	for idx := chunk.From; idx <= chunk.To; idx++ {
+	for idx := cube.From; idx <= cube.To; idx++ {
 		proof := proofs[idx]
 		if proof == nil {
 			return fmt.Errorf("no refutation proof for partition %d", idx)
 		}
-		if err := sat.CheckRUP(v.formula, v.parts[idx].Assumptions, proof); err != nil {
-			return fmt.Errorf("partition %d: %v", idx, err)
+		assumps, err := v.cubeAssumptions(idx, cube.Path)
+		if err != nil {
+			return fmt.Errorf("cube %s: %v", cube.Key(), err)
+		}
+		if err := sat.CheckRUP(v.formula, assumps, proof); err != nil {
+			return fmt.Errorf("partition %d (cube %s): %v", idx, cube.Key(), err)
 		}
 	}
 	return nil
@@ -359,15 +399,15 @@ func (v *certVerifier) verifySafe(chunk partition.Chunk, cert *Certificate) erro
 
 // verify dispatches on the claimed verdict and reports the verification
 // wall time; level is the certify level the job was issued under.
-func (v *certVerifier) verify(chunk partition.Chunk, reply *Message, cert *Certificate, level string) (time.Duration, error) {
+func (v *certVerifier) verify(cube partition.Cube, reply *Message, cert *Certificate, level string) (time.Duration, error) {
 	t0 := time.Now()
 	var err error
 	switch reply.Verdict {
 	case core.Unsafe.String():
-		err = v.verifyUnsafe(chunk, reply.Winner, cert)
+		err = v.verifyUnsafe(cube, reply.Winner, cert)
 	case core.Safe.String():
 		if level == CertifyFull {
-			err = v.verifySafe(chunk, cert)
+			err = v.verifySafe(cube, cert)
 		}
 	}
 	return time.Since(t0), err

@@ -72,6 +72,28 @@ type CoordinatorOptions struct {
 	// drains instead of being handed more work. 0 defaults to 0.95;
 	// negative disables the gate.
 	MemPauseRatio float64
+	// SplitDepth enables adaptive cube splitting: an idle worker that
+	// finds the queue empty may split the hardest in-flight cube —
+	// halving a multi-partition range, or extending a single partition's
+	// assumption cube by one scheduler bit — re-dispatching the two
+	// sub-cubes (taking one itself: work stealing by construction).
+	// SplitDepth caps how many extra path bits a single partition may
+	// accumulate; 0 disables splitting entirely.
+	SplitDepth int
+	// SplitGrace is how long a cube must have been in flight before it
+	// qualifies as a split victim or a hedge candidate (default 15s when
+	// SplitDepth > 0 or Hedge is set).
+	SplitGrace time.Duration
+	// SplitHardness is the minimum live hardness score (from heartbeats)
+	// an in-flight cube needs to qualify for splitting. The default 0
+	// makes grace alone the trigger, so a straggler that reports zero
+	// progress (and therefore zero hardness) is still split around.
+	SplitHardness float64
+	// Hedge enables speculative re-dispatch: an idle worker with nothing
+	// to run and nothing to split duplicates the longest-running cube;
+	// the first result to arrive wins and the loser is cancelled without
+	// being journaled or charged to the attempt budget.
+	Hedge bool
 	// JournalPath, when non-empty, records the run manifest and every
 	// chunk verdict in a crash-safe journal, committed before the chunk
 	// is acknowledged, so a killed coordinator can be restarted without
@@ -140,8 +162,8 @@ type CoordinatorResult struct {
 	// Quarantined is the structured failure log: chunks that exhausted
 	// their attempt budget, with the reason for every failed attempt.
 	Quarantined []ChunkFailure
-	// Attempts maps each chunk to the number of times it was assigned.
-	Attempts map[partition.Chunk]int
+	// Attempts maps each cube to the number of times it was assigned.
+	Attempts map[partition.Cube]int
 	// Workers summarises every worker that completed hello, sorted by
 	// name (jobs completed, failures, connections, last seen).
 	Workers []WorkerHealth
@@ -179,6 +201,14 @@ type CoordinatorResult struct {
 	// DispatchPaused counts backpressure episodes: times job dispatch
 	// paused because fleet memory pressure crossed MemPauseRatio.
 	DispatchPaused int
+	// Splits counts cube splits (each one SPLIT journal record and two
+	// new sub-cubes); Steals counts splits where the idle worker that
+	// forced the split took a child away from the straggler's cube;
+	// Hedges counts speculative duplicate dispatches; Superseded counts
+	// results and assignments discarded because their cube was split or
+	// a twin won the race — never journaled, never charged. MaxCubeDepth
+	// is the deepest assumption-cube path the run dispatched.
+	Splits, Hedges, Steals, Superseded, MaxCubeDepth int
 	// JournalSealed reports that the run journal hit a write or sync
 	// failure (disk full, I/O error) and sealed itself read-only; the
 	// run finished journal-less from that point — still correct, but a
@@ -188,9 +218,9 @@ type CoordinatorResult struct {
 	JournalSealCause string
 }
 
-// ChunkExhausted names the budget a chunk gave up under.
+// ChunkExhausted names the budget a cube gave up under.
 type ChunkExhausted struct {
-	Chunk partition.Chunk
+	Chunk partition.Cube
 	Cause string // "timeout" | "conflict-budget" | "memory"
 }
 
@@ -200,8 +230,7 @@ type coordinator struct {
 	source string
 
 	mu        sync.Mutex
-	jobID     int
-	remaining int // chunks neither refuted nor quarantined
+	remaining int // cubes neither refuted nor quarantined
 	active    int // connected workers past hello
 	finished  bool
 	killed    bool // fault plan halted the primary mid-run
@@ -213,7 +242,7 @@ type coordinator struct {
 	sealed   bool                      // journal sealed: degrade, stop committing
 	pressure map[string]workerPressure // per-worker heartbeat memory readings
 
-	pending  chan partition.Chunk
+	sched    *scheduler
 	done     chan struct{}
 	tracker  *chunkTracker
 	health   *HealthRegistry
@@ -259,6 +288,9 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	if opts.MemPauseRatio == 0 {
 		opts.MemPauseRatio = 0.95
 	}
+	if (opts.SplitDepth > 0 || opts.Hedge) && opts.SplitGrace == 0 {
+		opts.SplitGrace = 15 * time.Second
+	}
 	opts.Certify = opts.Certify.normalize()
 	chunks := partition.Chunks(opts.Partitions, opts.ChunkSize)
 	source := prog.Format(p)
@@ -275,12 +307,37 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		}
 	}
 
+	// Splitting single partitions needs to know how many scheduler bits
+	// the encoding can supply for cube paths. The verifier's encoding
+	// answers for free; an uncertified run pays one extra encode, and
+	// only when splitting is enabled at all.
+	splitBits := 0
+	if opts.SplitDepth > 0 {
+		if verifier != nil {
+			splitBits = len(verifier.splitLits)
+		} else {
+			copts := core.Options{
+				Unwind: opts.Unwind, Contexts: opts.Contexts, Width: opts.Width,
+				Partitions: opts.Partitions,
+			}
+			enc, _, _, eerr := core.EncodeProgram(p, copts)
+			if eerr != nil {
+				return nil, fmt.Errorf("distrib: split-bit encoding failed: %w", eerr)
+			}
+			_, total, perr := core.MakePartitions(enc, copts)
+			if perr != nil {
+				return nil, fmt.Errorf("distrib: split-bit partitioning failed: %w", perr)
+			}
+			splitBits = len(partition.SplitLits(enc, total))
+		}
+	}
+
 	// The journal pins everything that gives a chunk's [From,To] range
 	// its meaning; a committed record replays only into the exact same
 	// run configuration.
 	var jnl *journal.Journal
 	var repl *replicator
-	committed := map[partition.Chunk]journal.ChunkRecord{}
+	var history []journal.ChunkRecord
 	if opts.JournalPath != "" {
 		if !opts.Resume {
 			if _, serr := os.Stat(opts.JournalPath); serr == nil {
@@ -303,15 +360,64 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 		}
 		jnl.SetTracer(opts.Tracer)
 		defer jnl.Close()
-		for _, rec := range jnl.Committed() {
-			committed[partition.Chunk{From: rec.From, To: rec.To}] = rec
-		}
+		history = jnl.Committed()
 		// Connected standbys tail every committed record live, so their
 		// local journal copies stay promotion-ready. Seeded with the
 		// history a resumed run already holds.
-		repl, jerr = newReplicator(jnl.Manifest(), jnl.Committed())
+		repl, jerr = newReplicator(jnl.Manifest(), history)
 		if jerr != nil {
 			return nil, jerr
+		}
+	}
+
+	// Replay the journal into the cube tree before anything is queued.
+	// Records apply in commit order against the evolving leaf set: a
+	// SPLIT record replaces its cube with its two children (the journal
+	// commits SPLIT strictly before either child can produce a record,
+	// so children always find their slots), a verdict attaches to a live
+	// leaf, and anything else — a verdict for a cube that was split or
+	// already decided — is stale by construction and ignored.
+	type cubeLeaf struct {
+		cube partition.Cube
+		rec  *journal.ChunkRecord
+		dead bool // superseded by its children
+	}
+	var leaves []*cubeLeaf
+	leafIndex := map[partition.Cube]*cubeLeaf{}
+	addLeaf := func(c partition.Cube) *cubeLeaf {
+		l := &cubeLeaf{cube: c}
+		leaves = append(leaves, l)
+		leafIndex[c] = l
+		return l
+	}
+	for _, ch := range chunks {
+		addLeaf(partition.CubeOf(ch))
+	}
+	resumedSplits, resumedDepth := 0, 0
+	for i := range history {
+		rec := history[i]
+		cube := partition.Cube{From: rec.From, To: rec.To, Path: rec.Path}
+		l := leafIndex[cube]
+		if l == nil || l.dead || l.rec != nil {
+			continue
+		}
+		if rec.Split() {
+			l.dead = true
+			left, right := cube.Split()
+			addLeaf(left)
+			addLeaf(right)
+			resumedSplits++
+			if d := left.Depth(); d > resumedDepth {
+				resumedDepth = d
+			}
+			continue
+		}
+		l.rec = &history[i]
+	}
+	live := leaves[:0:0]
+	for _, l := range leaves {
+		if !l.dead {
+			live = append(live, l)
 		}
 	}
 
@@ -336,50 +442,54 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	co := &coordinator{
 		opts:      opts,
 		source:    source,
-		remaining: len(chunks),
-		res:       &CoordinatorResult{Verdict: core.Safe, Winner: -1, ChunksTotal: len(chunks)},
-		pressure:  make(map[string]workerPressure),
-		conns:     make(map[*conn]struct{}),
-		pending:   make(chan partition.Chunk, len(chunks)),
-		done:      make(chan struct{}),
-		tracker:   newChunkTracker(opts.MaxAttempts),
-		health:    health,
-		metrics:   newCoordMetrics(opts.Metrics),
-		jnl:       jnl,
-		repl:      repl,
-		verifier:  verifier,
-		recorder:  opts.Report,
-		root:      root,
+		remaining: len(live),
+		res: &CoordinatorResult{
+			Verdict: core.Safe, Winner: -1, ChunksTotal: len(live),
+			Splits: resumedSplits, MaxCubeDepth: resumedDepth,
+		},
+		pressure: make(map[string]workerPressure),
+		conns:    make(map[*conn]struct{}),
+		sched:    newScheduler(opts, splitBits),
+		done:     make(chan struct{}),
+		tracker:  newChunkTracker(opts.MaxAttempts),
+		health:   health,
+		metrics:  newCoordMetrics(opts.Metrics),
+		jnl:      jnl,
+		repl:     repl,
+		verifier: verifier,
+		recorder: opts.Report,
+		root:     root,
 	}
 	// Journal commit spans hang off the coordinate root so the merged
 	// trace tree stays single-rooted.
 	jnl.SetParent(root)
-	co.metrics.chunksTotal.Set(int64(len(chunks)))
+	co.metrics.chunksTotal.Set(int64(len(live)))
+	co.metrics.cubeDepth.Set(int64(resumedDepth))
 
-	// Replay committed verdicts; only the rest is queued for workers.
-	// In-flight chunks were never committed, so a crash can lose work
-	// but never claim work it lost.
-	for _, ch := range chunks {
-		rec, ok := committed[ch]
-		if !ok {
-			co.pending <- ch
+	// Fold replayed verdicts into the run; only undecided leaves are
+	// queued for workers. In-flight cubes were never committed, so a
+	// crash can lose work but never claim work it lost.
+	for _, l := range live {
+		rec := l.rec
+		if rec == nil {
+			co.sched.push(l.cube)
 			continue
 		}
 		// A budget-exhausted verdict is terminal only relative to the
 		// budgets pinned on its record: a resume that lifted or raised
-		// the exhausted budget re-queues the chunk for workers instead of
+		// the exhausted budget re-queues the cube for workers instead of
 		// replaying a give-up the new flags were meant to overcome.
 		if rec.RetryUnder(opts.ChunkTimeout.Milliseconds(), opts.ChunkConflicts, opts.MemBudgetMB) {
-			co.pending <- ch
+			co.sched.push(l.cube)
 			continue
 		}
 		// A certified run replays only certified definite verdicts. An
 		// uncertified record (journaled by a run with -certify=off, or a
-		// SAFE chunk whose proof was sampled out) was never checked
+		// SAFE cube whose proof was sampled out) was never checked
 		// against this coordinator's encoding, so it is re-solved rather
 		// than trusted into a certified history.
 		if verifier != nil && rec.Verdict != core.Unknown.String() && !rec.Certified {
-			co.pending <- ch
+			co.sched.push(l.cube)
 			continue
 		}
 		co.res.Resumed++
@@ -395,8 +505,8 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 			co.remaining--
 		default:
 			// A journaled Unknown is always budget-exhausted (in-flight
-			// chunks are never committed): terminal under these budgets.
-			co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: ch, Cause: rec.Cause})
+			// cubes are never committed): terminal under these budgets.
+			co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: l.cube, Cause: rec.Cause})
 			co.remaining--
 		}
 	}
@@ -444,6 +554,14 @@ func Coordinate(ctx context.Context, ln net.Listener, p *prog.Program, opts Coor
 	res.Quarantined = co.tracker.failureLog()
 	res.Attempts = co.tracker.attempts()
 	res.Workers = co.health.Snapshot()
+	splits, hedges, steals, superseded, maxDepth := co.sched.stats()
+	res.Splits += splits
+	res.Hedges = hedges
+	res.Steals = steals
+	res.Superseded = superseded
+	if maxDepth > res.MaxCubeDepth {
+		res.MaxCubeDepth = maxDepth
+	}
 	if res.Verdict == core.Safe && (co.remaining > 0 || len(res.Quarantined) > 0 || len(res.Exhausted) > 0) {
 		res.Verdict = core.Unknown
 	}
@@ -718,44 +836,38 @@ func (co *coordinator) serve(c net.Conn) {
 	}
 	co.workerJoined()
 	defer co.workerLeft()
+	// The per-worker live gauges stop rendering once the worker is gone
+	// (its jobs/failures counters remain as history); without this, every
+	// evicted or quarantined worker would be scraped with its last
+	// readings forever.
+	defer co.metrics.dropWorker(key)
 
 	hbMillis := co.opts.HeartbeatInterval.Milliseconds()
 	if co.opts.HeartbeatInterval < 0 {
 		hbMillis = 0
 	}
 	for {
-		var chunk partition.Chunk
-		select {
-		case chunk = <-co.pending:
-		case <-co.done:
+		a := co.nextAssignment(key, wc)
+		if a == nil {
 			_ = wc.send(&Message{Type: "stop"})
 			return
 		}
-		// Backpressure: while the fleet is over the memory-pressure
-		// threshold, hold the chunk rather than pile more work onto
-		// machines already close to their limit.
-		if !co.dispatchGate() {
-			co.pending <- chunk // run ended while waiting; not consumed
-			_ = wc.send(&Message{Type: "stop"})
-			return
-		}
-		co.mu.Lock()
-		co.jobID++
-		id := co.jobID
-		co.mu.Unlock()
-		co.tracker.assigned(chunk)
+		cube := a.cube
+		id := a.jobID
+		co.tracker.assigned(cube)
 		level := co.opts.Certify.jobLevel(id)
 		// The job span is the cross-process graft point: its context
 		// rides on the wire, the worker parents its own job span under
 		// it, and the merged trace shows one tree per run.
 		jobSpan := co.root.Child("job",
-			obs.KV("job", id), obs.KV("from", chunk.From), obs.KV("to", chunk.To),
-			obs.KV("worker", key))
+			obs.KV("job", id), obs.KV("cube", cube.Key()),
+			obs.KV("worker", key), obs.KV("hedge", a.hedge))
 		sc := jobSpan.Context()
 		job := &Message{
 			Type: "job", JobID: id, Epoch: co.opts.Epoch, Source: co.source,
 			Unwind: co.opts.Unwind, Contexts: co.opts.Contexts, Width: co.opts.Width,
-			Partitions: co.opts.Partitions, From: chunk.From, To: chunk.To,
+			Partitions: co.opts.Partitions, From: cube.From, To: cube.To,
+			CubePath:           cube.Path,
 			HeartbeatMillis:    hbMillis,
 			ChunkTimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
 			ChunkConflicts:     co.opts.ChunkConflicts,
@@ -766,13 +878,13 @@ func (co *coordinator) serve(c net.Conn) {
 		}
 		if err := wc.send(job); err != nil {
 			jobSpan.End(obs.KV("error", err.Error()))
-			co.failChunk(chunk, key, fmt.Sprintf("send job %d to %s: %v", id, key, err))
+			co.failAssignment(a, key, fmt.Sprintf("send job %d to %s: %v", id, key, err))
 			return
 		}
-		reply, err := co.awaitResult(wc, id, key, hbMillis > 0)
+		reply, err := co.awaitResult(wc, a, key, hbMillis > 0)
 		if err != nil {
 			jobSpan.End(obs.KV("error", err.Error()))
-			co.failChunk(chunk, key, err.Error())
+			co.failAssignment(a, key, err.Error())
 			return
 		}
 		// The certificate frames follow the result and must be drained
@@ -781,22 +893,23 @@ func (co *coordinator) serve(c net.Conn) {
 		if err != nil {
 			jobSpan.End(obs.KV("error", err.Error()))
 			if errors.Is(err, errCertificate) {
-				co.rejectCertificate(chunk, key, err.Error())
+				co.rejectCertificate(a, key, err.Error())
 				_ = wc.send(&Message{Type: "stop"})
 				return
 			}
-			co.failChunk(chunk, key, err.Error())
+			co.failAssignment(a, key, err.Error())
 			return
 		}
 		// Trust-but-verify: a definite verdict updates the run state only
 		// after its evidence checks out against the coordinator's own
-		// encoding. A rejected certificate condemns the worker, not the
-		// chunk: the chunk is re-queued elsewhere at no attempt cost.
+		// encoding — under the cube's full assumption set, path bits
+		// included. A rejected certificate condemns the worker, not the
+		// cube: the cube is re-queued elsewhere at no attempt cost.
 		certified := false
 		if co.verifier != nil &&
 			(reply.Verdict == core.Unsafe.String() || reply.Verdict == core.Safe.String()) {
 			certSpan := jobSpan.Child("certify_verify", obs.KV("level", level))
-			dur, verr := co.verifier.verify(chunk, reply, cert, level)
+			dur, verr := co.verifier.verify(cube, reply, cert, level)
 			certSpan.End(obs.KV("ok", verr == nil))
 			co.metrics.certifySeconds.Observe(dur.Seconds())
 			co.metrics.certifySecondsAlias.Observe(dur.Seconds())
@@ -805,7 +918,7 @@ func (co *coordinator) serve(c net.Conn) {
 			co.mu.Unlock()
 			if verr != nil {
 				jobSpan.End(obs.KV("error", verr.Error()))
-				co.rejectCertificate(chunk, key, fmt.Sprintf("job %d on %s: %v", id, key, verr))
+				co.rejectCertificate(a, key, fmt.Sprintf("job %d on %s: %v", id, key, verr))
 				_ = wc.send(&Message{Type: "stop"})
 				return
 			}
@@ -821,37 +934,21 @@ func (co *coordinator) serve(c net.Conn) {
 		co.metrics.jobResult(key, reply.Stats, reply.SolveMillis)
 		co.recordRemoteStats(reply)
 		jobSpan.End(obs.KV("verdict", reply.Verdict), obs.KV("certified", certified))
-		// Fold the result's per-partition breakdown and the worker's
-		// shipped span events into the run report, and pin the final
-		// per-partition progress gauges (a fast job may finish between
-		// heartbeats, so the result is what guarantees the gauges exist).
 		co.recorder.AddSpans(reply.Spans)
-		for _, pp := range reply.Parts {
-			co.metrics.partResult(pp)
-			cause := ""
-			if pp.Verdict == sat.Unknown.String() {
-				cause = reply.Cause
-			}
-			co.recorder.Finish(report.PartitionRow{
-				Partition:    pp.Partition,
-				Verdict:      pp.Verdict,
-				Worker:       key,
-				Conflicts:    pp.Conflicts,
-				Propagations: pp.Propagations,
-				Progress:     pp.Progress,
-				SolveMillis:  pp.Millis,
-				Certified:    certified,
-				Cause:        cause,
-				Hardness:     pp.Hardness,
-				ConflictRate: pp.ConflictRate,
-			})
-		}
 		switch reply.Verdict {
 		case core.Unsafe.String():
+			// The claim decides the race before the journal is touched: a
+			// result for a cube that was split, or whose hedge twin already
+			// won, is discarded here — never journaled, never charged.
+			if !co.sched.claim(a) {
+				co.noteSuperseded()
+				continue
+			}
+			co.acceptParts(a, reply, key, certified)
 			// Commit before acknowledging: a crash after this point
 			// replays straight to the counterexample.
 			if !co.commitChunk(journal.ChunkRecord{
-				From: chunk.From, To: chunk.To,
+				From: cube.From, To: cube.To, Path: cube.Path,
 				Verdict: core.Unsafe.String(), Winner: reply.Winner, Millis: reply.Millis,
 				Certified: certified,
 			}) {
@@ -867,8 +964,13 @@ func (co *coordinator) serve(c net.Conn) {
 			_ = wc.send(&Message{Type: "stop"})
 			return
 		case core.Safe.String():
+			if !co.sched.claim(a) {
+				co.noteSuperseded()
+				continue
+			}
+			co.acceptParts(a, reply, key, certified)
 			if !co.commitChunk(journal.ChunkRecord{
-				From: chunk.From, To: chunk.To,
+				From: cube.From, To: cube.To, Path: cube.Path,
 				Verdict: core.Safe.String(), Winner: -1, Millis: reply.Millis,
 				Certified: certified,
 			}) {
@@ -890,6 +992,20 @@ func (co *coordinator) serve(c net.Conn) {
 			}
 		default:
 			cause := sat.ParseStopCause(reply.Cause)
+			if cause == sat.CauseCancelled {
+				// The expected fate of a superseded assignment: the worker
+				// acknowledged the cancel. Nothing is journaled and no
+				// attempt is charged. A cancelled result for a cube that
+				// was *not* superseded (a worker-local interrupt) is a
+				// normal retryable failure.
+				if co.sched.release(a) {
+					co.requeueOrQuarantine(cube, key,
+						fmt.Sprintf("job %d on %s: cancelled", id, key))
+				} else {
+					co.noteSuperseded()
+				}
+				continue
+			}
 			if cause == sat.CauseMemory {
 				co.metrics.memoryAborted.Inc()
 				co.mu.Lock()
@@ -898,23 +1014,33 @@ func (co *coordinator) serve(c net.Conn) {
 				if co.opts.MemBudgetMB == 0 {
 					// With no configured memory budget, a "memory" result is
 					// the worker's own OOM watchdog tripping: that machine
-					// ran out, not the chunk being deterministically too
+					// ran out, not the cube being deterministically too
 					// big. Re-queue it — another worker (or the same one,
 					// once its heap drains) may have the headroom. The
 					// attempt budget still bounds how often this can loop.
-					co.requeueOrQuarantine(chunk, key,
-						fmt.Sprintf("job %d on %s: memory watchdog abort", id, key))
+					if co.sched.release(a) {
+						co.requeueOrQuarantine(cube, key,
+							fmt.Sprintf("job %d on %s: memory watchdog abort", id, key))
+					} else {
+						co.noteSuperseded()
+					}
 					continue
 				}
 			}
 			if cause.Budgeted() {
-				// A budgeted Unknown is deterministic: the same chunk under
+				// A budgeted Unknown is deterministic: the same cube under
 				// the same budgets gives up again. Terminal, journaled with
 				// the budgets it gave up under (so a resume with raised
 				// budgets re-queues it), and not charged to the retry
-				// budget.
+				// budget. Terminal means it must win the race like any
+				// other verdict.
+				if !co.sched.claim(a) {
+					co.noteSuperseded()
+					continue
+				}
+				co.acceptParts(a, reply, key, certified)
 				if !co.commitChunk(journal.ChunkRecord{
-					From: chunk.From, To: chunk.To,
+					From: cube.From, To: cube.To, Path: cube.Path,
 					Verdict: core.Unknown.String(), Winner: -1,
 					Cause: reply.Cause, Millis: reply.Millis,
 					TimeoutMillis: co.opts.ChunkTimeout.Milliseconds(),
@@ -926,7 +1052,7 @@ func (co *coordinator) serve(c net.Conn) {
 				co.metrics.budgetExhausted.Inc()
 				co.mu.Lock()
 				co.res.Jobs++
-				co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: chunk, Cause: reply.Cause})
+				co.res.Exhausted = append(co.res.Exhausted, ChunkExhausted{Chunk: cube, Cause: reply.Cause})
 				co.remaining--
 				co.metrics.chunksRemaining.Set(int64(co.remaining))
 				fin := co.remaining == 0
@@ -940,20 +1066,148 @@ func (co *coordinator) serve(c net.Conn) {
 				}
 				continue
 			}
-			// Retryable Unknown (e.g. worker-side cancellation): a failed
-			// attempt, but the connection stays usable.
-			co.requeueOrQuarantine(chunk, key,
-				fmt.Sprintf("job %d on %s: verdict %s", id, key, reply.Verdict))
+			// Retryable Unknown: a failed attempt, but the connection
+			// stays usable.
+			if co.sched.release(a) {
+				co.requeueOrQuarantine(cube, key,
+					fmt.Sprintf("job %d on %s: verdict %s", id, key, reply.Verdict))
+			} else {
+				co.noteSuperseded()
+			}
 		}
 	}
 }
 
-// awaitResult reads messages until the result for job id arrives. With
-// heartbeats enabled each read is bounded by HeartbeatGrace, so a
-// stalled worker is caught long before JobTimeout; the overall job
-// deadline still applies. A result carrying the wrong JobID is a
-// protocol violation (stale result misattribution) and fails the worker.
-func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool) (*Message, error) {
+// nextAssignment blocks until the scheduler hands this worker something
+// to run — a queued cube, the stolen child of a straggler it just
+// split, or a hedged duplicate — or the run ends (nil). The periodic
+// tick is what notices grace periods expiring when no queue activity
+// wakes anyone.
+func (co *coordinator) nextAssignment(key string, wc *conn) *assignment {
+	tick := co.opts.SplitGrace / 4
+	if tick <= 0 || tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	for {
+		select {
+		case <-co.done:
+			return nil
+		default:
+		}
+		// Backpressure: while the fleet is over the memory-pressure
+		// threshold nothing is dispatched, split, or hedged.
+		if !co.dispatchGate() {
+			return nil
+		}
+		a, victim := co.sched.tryAcquire(key, wc)
+		if a != nil {
+			if a.hedge {
+				co.metrics.chunksHedged.Inc()
+			}
+			_, _, _, _, depth := co.sched.stats()
+			co.metrics.cubeDepth.Set(int64(depth))
+			return a
+		}
+		if victim != nil {
+			if a := co.performSplit(victim, key, wc); a != nil {
+				return a
+			}
+			continue
+		}
+		t := time.NewTimer(tick)
+		select {
+		case <-co.done:
+			t.Stop()
+			return nil
+		case <-co.sched.notify:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// performSplit turns a split reservation into a committed tree edit:
+// the SPLIT record is journaled first — the claim window closed when
+// the victim was reserved, so no parent verdict can land after this —
+// then the scheduler swaps the cube for its two children. The idle
+// caller walks away with one child (stolen from the straggler's worker)
+// and the other hits the queue.
+func (co *coordinator) performSplit(victim *assignment, key string, wc *conn) *assignment {
+	cube := victim.cube
+	hardness := co.sched.hardnessOf(cube)
+	if !co.commitChunk(journal.ChunkRecord{
+		From: cube.From, To: cube.To, Path: cube.Path,
+		Verdict: journal.VerdictSplit,
+	}) {
+		co.sched.abortSplit(victim)
+		return nil
+	}
+	a, stolen := co.sched.completeSplit(victim, key, wc)
+	co.metrics.cubesSplit.Inc()
+	if stolen {
+		co.metrics.cubeSteals.Inc()
+	}
+	co.mu.Lock()
+	co.remaining++ // one live cube became two
+	co.res.ChunksTotal++
+	co.metrics.chunksTotal.Set(int64(co.res.ChunksTotal))
+	co.metrics.chunksRemaining.Set(int64(co.remaining))
+	co.mu.Unlock()
+	co.recorder.CubeFinish(report.CubeRow{
+		Key: cube.Key(), From: cube.From, To: cube.To, Path: cube.Path,
+		Worker: victim.worker, Verdict: journal.VerdictSplit,
+		Hardness: hardness, Stolen: stolen,
+	})
+	return a
+}
+
+// acceptParts folds an *accepted* result's per-partition breakdown into
+// the metrics and the run report, and records the cube row. Discarded
+// (superseded) results never reach here, so a hedge loser's cancelled
+// rows cannot overwrite the winner's.
+func (co *coordinator) acceptParts(a *assignment, reply *Message, key string, certified bool) {
+	for _, pp := range reply.Parts {
+		co.metrics.partResult(pp)
+		cause := ""
+		if pp.Verdict == sat.Unknown.String() {
+			cause = reply.Cause
+		}
+		co.recorder.Finish(report.PartitionRow{
+			Partition:    pp.Partition,
+			Verdict:      pp.Verdict,
+			Worker:       key,
+			Conflicts:    pp.Conflicts,
+			Propagations: pp.Propagations,
+			Progress:     pp.Progress,
+			SolveMillis:  pp.Millis,
+			Certified:    certified,
+			Cause:        cause,
+			Hardness:     pp.Hardness,
+			ConflictRate: pp.ConflictRate,
+		})
+	}
+	co.recorder.CubeFinish(report.CubeRow{
+		Key: a.cube.Key(), From: a.cube.From, To: a.cube.To, Path: a.cube.Path,
+		Worker: key, Verdict: reply.Verdict, Cause: reply.Cause,
+		SolveMillis: reply.Millis, Hedged: a.hedge, Certified: certified,
+	})
+}
+
+// noteSuperseded counts one discarded result — its cube was split or a
+// twin won the race while it was in flight. The scheduler's own
+// counters feed CoordinatorResult.Superseded at the end of the run.
+func (co *coordinator) noteSuperseded() {
+	co.metrics.supersededResults.Inc()
+}
+
+// awaitResult reads messages until the result for the assignment's job
+// arrives. With heartbeats enabled each read is bounded by
+// HeartbeatGrace, so a stalled worker is caught long before JobTimeout;
+// the overall job deadline still applies. A result carrying the wrong
+// JobID is a protocol violation (stale result misattribution) and fails
+// the worker.
+func (co *coordinator) awaitResult(wc *conn, a *assignment, key string, heartbeats bool) (*Message, error) {
+	id := a.jobID
 	deadline := time.Now().Add(co.opts.JobTimeout)
 	grace := co.opts.JobTimeout
 	if heartbeats && co.opts.HeartbeatGrace < grace {
@@ -981,6 +1235,9 @@ func (co *coordinator) awaitResult(wc *conn, id int, key string, heartbeats bool
 				co.health.touch(key)
 				co.metrics.heartbeat(key, reply)
 				co.notePressure(key, reply.MemBytes, reply.MemLimit)
+				// The live hardness reading is the straggler signal the
+				// split-victim selection steers by.
+				co.sched.note(a, reply.Hardness)
 				for _, pp := range reply.Parts {
 					co.metrics.partProgress(pp)
 					co.recorder.Progress(pp.Partition, key, pp.Conflicts, pp.Propagations, pp.Progress)
@@ -1043,20 +1300,26 @@ func (co *coordinator) readCertificate(wc *conn, id int, key string, reply *Mess
 }
 
 // rejectCertificate quarantines the worker behind a rejected certificate
-// and puts its chunk back on the queue. The chunk is not charged a
+// and puts its cube back on the queue. The cube is not charged a
 // failed attempt — it did nothing wrong, and a fleet with one persistent
-// liar must not be able to quarantine chunks by burning their budgets.
-func (co *coordinator) rejectCertificate(chunk partition.Chunk, key, reason string) {
+// liar must not be able to quarantine cubes by burning their budgets.
+func (co *coordinator) rejectCertificate(a *assignment, key, reason string) {
 	co.health.certRejected(key)
 	co.health.failed(key)
 	co.metrics.certRejected.Inc()
 	co.metrics.workerCertRejected(key)
-	co.metrics.reassigned.Inc()
 	co.mu.Lock()
 	co.res.CertRejected++
+	co.mu.Unlock()
+	if !co.sched.release(a) {
+		co.noteSuperseded()
+		return
+	}
+	co.metrics.reassigned.Inc()
+	co.mu.Lock()
 	co.res.Reassigned++
 	co.mu.Unlock()
-	co.pending <- chunk
+	co.sched.push(a.cube)
 }
 
 // recordRemoteStats folds one job result's search statistics into the
@@ -1071,18 +1334,24 @@ func (co *coordinator) recordRemoteStats(reply *Message) {
 	co.res.SolveMillis += reply.SolveMillis
 }
 
-// failChunk charges a failed attempt to both the worker and the chunk.
-func (co *coordinator) failChunk(chunk partition.Chunk, key, reason string) {
+// failAssignment charges a failed attempt to the worker, and — unless
+// the cube was superseded in flight (its children or a hedge twin carry
+// it now) — to the cube as well.
+func (co *coordinator) failAssignment(a *assignment, key, reason string) {
 	co.health.failed(key)
 	co.metrics.workerFailed(key)
-	co.requeueOrQuarantine(chunk, key, reason)
+	if !co.sched.release(a) {
+		co.noteSuperseded()
+		return
+	}
+	co.requeueOrQuarantine(a.cube, key, reason)
 }
 
-// requeueOrQuarantine puts a failed chunk back on the queue, or — once
+// requeueOrQuarantine puts a failed cube back on the queue, or — once
 // its budget is exhausted — quarantines it so it is never reassigned
-// again. Quarantining the last unresolved chunk ends the run.
-func (co *coordinator) requeueOrQuarantine(chunk partition.Chunk, key, reason string) {
-	if co.tracker.failed(chunk, reason) {
+// again. Quarantining the last unresolved cube ends the run.
+func (co *coordinator) requeueOrQuarantine(cube partition.Cube, key, reason string) {
+	if co.tracker.failed(cube, reason) {
 		co.metrics.quarantined.Inc()
 		co.mu.Lock()
 		co.remaining--
@@ -1097,5 +1366,5 @@ func (co *coordinator) requeueOrQuarantine(chunk partition.Chunk, key, reason st
 	co.mu.Lock()
 	co.res.Reassigned++
 	co.mu.Unlock()
-	co.pending <- chunk
+	co.sched.push(cube)
 }

@@ -28,6 +28,14 @@ const (
 	// HeartbeatGrace monitor (never a transport failure, and long before
 	// JobTimeout) can detect it.
 	FaultHalfOpen
+	// FaultSlow makes the worker a deterministic straggler: the job
+	// sleeps for the event's Slow duration before solving, with
+	// heartbeats flowing normally (zero progress, zero hardness) the
+	// whole time. Unlike FaultStall the worker is perfectly healthy as
+	// far as the liveness monitor can tell — only the adaptive
+	// scheduler's split/hedge machinery can route around it. The sleep
+	// aborts promptly when the job is cancelled.
+	FaultSlow
 
 	// The remaining kinds are Byzantine: the worker completes the job but
 	// lies about the outcome. They exercise the coordinator's certificate
@@ -61,6 +69,8 @@ func (k FaultKind) String() string {
 		return "panic"
 	case FaultHalfOpen:
 		return "half-open"
+	case FaultSlow:
+		return "slow"
 	case FaultFlipVerdict:
 		return "flip-verdict"
 	case FaultBogusModel:
@@ -90,6 +100,7 @@ type FaultEvent struct {
 	Job   int
 	Kind  FaultKind
 	Stall time.Duration // FaultStall only
+	Slow  time.Duration // FaultSlow only
 }
 
 // FaultPlan is a deterministic fault-injection schedule for a worker.
@@ -103,6 +114,23 @@ type FaultPlan struct {
 	// Events fire by job index; at most one event fires per job (the
 	// first match wins).
 	Events []FaultEvent
+	// Every, when non-nil, fires on every job that has no indexed
+	// event — e.g. a worker that is uniformly slow.
+	Every *FaultEvent
+}
+
+// SlowAt returns a plan that delays each of the given job indices by d
+// before solving; with no indices the worker is uniformly slow.
+func SlowAt(d time.Duration, jobs ...int) *FaultPlan {
+	p := &FaultPlan{}
+	if len(jobs) == 0 {
+		p.Every = &FaultEvent{Kind: FaultSlow, Slow: d}
+		return p
+	}
+	for _, j := range jobs {
+		p.Events = append(p.Events, FaultEvent{Job: j, Kind: FaultSlow, Slow: d})
+	}
+	return p
 }
 
 // DropAt returns a plan that drops the connection upon receiving each of
@@ -125,7 +153,7 @@ func (p *FaultPlan) eventAt(job int) *FaultEvent {
 			return &p.Events[i]
 		}
 	}
-	return nil
+	return p.Every
 }
 
 // seed returns the jitter seed, nil-safe and never zero.

@@ -128,17 +128,17 @@ func (r *HealthRegistry) Snapshot() []WorkerHealth {
 // of being reassigned forever. A quarantined chunk caps the run's
 // verdict at Unknown.
 type ChunkFailure struct {
-	Chunk    partition.Chunk
+	Chunk    partition.Cube
 	Attempts int      // failed attempts (== the budget when quarantined)
 	Errors   []string // one reason per failed attempt, oldest first
 }
 
-// chunkTracker counts assignments and failures per chunk and decides
+// chunkTracker counts assignments and failures per cube and decides
 // quarantine against the attempt budget.
 type chunkTracker struct {
 	mu     sync.Mutex
 	budget int
-	stats  map[partition.Chunk]*chunkStat
+	stats  map[partition.Cube]*chunkStat
 }
 
 type chunkStat struct {
@@ -148,10 +148,10 @@ type chunkStat struct {
 }
 
 func newChunkTracker(budget int) *chunkTracker {
-	return &chunkTracker{budget: budget, stats: make(map[partition.Chunk]*chunkStat)}
+	return &chunkTracker{budget: budget, stats: make(map[partition.Cube]*chunkStat)}
 }
 
-func (t *chunkTracker) get(ch partition.Chunk) *chunkStat {
+func (t *chunkTracker) get(ch partition.Cube) *chunkStat {
 	s := t.stats[ch]
 	if s == nil {
 		s = &chunkStat{}
@@ -160,7 +160,7 @@ func (t *chunkTracker) get(ch partition.Chunk) *chunkStat {
 	return s
 }
 
-func (t *chunkTracker) assigned(ch partition.Chunk) {
+func (t *chunkTracker) assigned(ch partition.Cube) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.get(ch).assigned++
@@ -168,7 +168,7 @@ func (t *chunkTracker) assigned(ch partition.Chunk) {
 
 // failed records a failed attempt and reports whether the chunk has now
 // exhausted its budget and must be quarantined.
-func (t *chunkTracker) failed(ch partition.Chunk, reason string) (quarantined bool) {
+func (t *chunkTracker) failed(ch partition.Cube, reason string) (quarantined bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := t.get(ch)
@@ -178,10 +178,10 @@ func (t *chunkTracker) failed(ch partition.Chunk, reason string) (quarantined bo
 }
 
 // attempts returns assignment counts per chunk.
-func (t *chunkTracker) attempts() map[partition.Chunk]int {
+func (t *chunkTracker) attempts() map[partition.Cube]int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make(map[partition.Chunk]int, len(t.stats))
+	out := make(map[partition.Cube]int, len(t.stats))
 	for ch, s := range t.stats {
 		out[ch] = s.assigned
 	}
@@ -198,6 +198,11 @@ func (t *chunkTracker) failureLog() []ChunkFailure {
 			out = append(out, ChunkFailure{Chunk: ch, Attempts: s.failed, Errors: s.errors})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Chunk.From < out[j].Chunk.From })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chunk.From != out[j].Chunk.From {
+			return out[i].Chunk.From < out[j].Chunk.From
+		}
+		return out[i].Chunk.Path < out[j].Chunk.Path
+	})
 	return out
 }

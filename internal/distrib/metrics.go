@@ -31,6 +31,12 @@ type coordMetrics struct {
 	certRejected    *obs.Counter
 	certifySeconds  *obs.Histogram
 
+	cubesSplit        *obs.Counter
+	chunksHedged      *obs.Counter
+	cubeSteals        *obs.Counter
+	supersededResults *obs.Counter
+	cubeDepth         *obs.Gauge
+
 	remoteDecisions     *obs.Counter
 	remoteConflicts     *obs.Counter
 	remotePropagations  *obs.Counter
@@ -83,6 +89,16 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Remote verdict certificates rejected (missing, malformed, oversized, or failed verification)."),
 		certifySeconds: reg.Histogram("parbmc_coordinator_certify_seconds",
 			"Per-result certificate verification wall time in seconds (fixed duration buckets).", nil),
+		cubesSplit: reg.Counter("parbmc_cubes_split_total",
+			"In-flight cubes split into two sub-cubes after stalling past the grace period (adaptive partitioning)."),
+		chunksHedged: reg.Counter("parbmc_chunks_hedged_total",
+			"Speculative duplicate dispatches of long-running cubes to idle workers."),
+		cubeSteals: reg.Counter("parbmc_steals_total",
+			"Splits where the idle worker that forced the split took a child cube from the straggler."),
+		supersededResults: reg.Counter("parbmc_results_superseded_total",
+			"Results discarded because their cube was split or a hedge twin won while they were in flight."),
+		cubeDepth: reg.Gauge("parbmc_cube_tree_depth",
+			"Deepest assumption-cube path dispatched so far (0 until the first single-partition split)."),
 		certifySecondsAlias: reg.Histogram("parbmc_certify_seconds",
 			"DEPRECATED alias of parbmc_coordinator_certify_seconds; removed after one release.", nil),
 		remoteDecisions: reg.Counter("parbmc_remote_decisions_total",
@@ -215,4 +231,26 @@ func (m *coordMetrics) workerCertRejected(worker string) {
 func (m *coordMetrics) workerFailed(worker string) {
 	m.reg.Counter("parbmc_worker_failures_total",
 		"Failed attempts charged per worker.", "worker", worker).Inc()
+}
+
+// dropWorker unregisters a departed worker's live gauge series — the
+// nine instruments heartbeat() maintains — so an evicted or quarantined
+// worker stops being scraped with its last readings forever. Its
+// counters (jobs, failures, certificate rejections) stay: they are
+// history, not liveness. A reconnecting worker re-creates the gauges on
+// its first heartbeat.
+func (m *coordMetrics) dropWorker(worker string) {
+	for _, name := range []string{
+		"parbmc_worker_live_conflicts",
+		"parbmc_worker_live_propagations",
+		"parbmc_worker_live_progress",
+		"parbmc_worker_conflict_rate",
+		"parbmc_worker_decision_rate",
+		"parbmc_worker_propagation_rate",
+		"parbmc_worker_hardness",
+		"parbmc_worker_mem_bytes",
+		"parbmc_worker_mem_limit_bytes",
+	} {
+		m.reg.Unregister(name, "worker", worker)
+	}
 }

@@ -31,7 +31,7 @@ var wireTable = crc32.MakeTable(crc32.Castagnoli)
 // workers, one message per line.
 type Message struct {
 	// Type is "hello", "welcome", "job", "heartbeat", "result", "cert",
-	// "replicate", "replicate-ack", or "stop".
+	// "cancel", "replicate", "replicate-ack", or "stop".
 	Type string `json:"type"`
 
 	// Hello fields. Role distinguishes a work-seeking peer ("" — a
@@ -61,6 +61,14 @@ type Message struct {
 	From            int    `json:"from"`
 	To              int    `json:"to"`
 	HeartbeatMillis int64  `json:"hb_millis,omitempty"`
+	// CubePath refines a single-partition job (From == To) with extra
+	// unit assumptions over the canonical partition.SplitLits sequence —
+	// the adaptive cube-splitting work unit. Empty for range jobs.
+	// A "cancel" message carries JobID only: the coordinator has
+	// superseded that in-flight job (split or hedge race lost) and the
+	// worker should interrupt its solvers and answer with a cancelled
+	// result.
+	CubePath string `json:"cube_path,omitempty"`
 	// ChunkTimeoutMillis / ChunkConflicts propagate the coordinator's
 	// per-chunk budgets to the worker's solver instances, so a poison
 	// chunk degrades to a budgeted Unknown instead of eating JobTimeout.

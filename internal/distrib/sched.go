@@ -1,0 +1,355 @@
+package distrib
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// The straggler-resilient scheduler turns the coordinator's fixed chunk
+// list into a dynamic cube tree. Work units are partition.Cubes; an idle
+// worker that finds the queue empty may split a hard in-flight cube on
+// the next unfixed scheduler bit (taking one child itself — work
+// stealing by construction) or hedge-dispatch a duplicate of a
+// long-running cube. Supersession is the soundness fence: the moment a
+// cube is marked for splitting (or a hedge twin's result is accepted),
+// every other in-flight assignment of that cube is superseded — its
+// result, whenever it arrives, is discarded without touching the
+// journal, the run state, or the attempt budget.
+
+// asgnState is the lifecycle of one dispatched assignment.
+type asgnState int
+
+const (
+	// asgnRunning: dispatched, result pending.
+	asgnRunning asgnState = iota
+	// asgnClaimed: its result was accepted as the cube's verdict.
+	asgnClaimed
+	// asgnSuperseded: the cube was split or a twin won the hedge race;
+	// any result from this assignment is stale and must be discarded.
+	asgnSuperseded
+)
+
+// assignment is one job dispatched to one worker: a cube, the
+// connection it went out on (for mid-flight cancel), and its race state.
+type assignment struct {
+	jobID   int
+	cube    partition.Cube
+	worker  string
+	wc      *conn
+	started time.Time
+	state   asgnState
+	// hedge marks a speculative duplicate of an already-running cube.
+	hedge bool
+}
+
+// scheduler is the cube-tree state machine. All fields are guarded by
+// mu; cancel messages are sent outside the lock.
+type scheduler struct {
+	mu     sync.Mutex
+	notify chan struct{} // cap-1 wakeup for idle serve loops
+
+	queue    []partition.Cube
+	inflight map[int]*assignment // jobID -> running/racing assignment
+
+	// decided marks cubes whose verdict was accepted; splitting/split
+	// mark cubes superseded by their children (splitting is the
+	// pre-commit window between victim selection and the SPLIT record
+	// landing — claims already lose during it, so a stale parent result
+	// can never be journaled after its sub-cubes exist).
+	decided   map[partition.Cube]bool
+	split     map[partition.Cube]bool
+	splitting map[partition.Cube]bool
+
+	// hardness is the latest heartbeat hardness per in-flight cube (the
+	// hottest partition's score), the straggler steering signal.
+	hardness map[partition.Cube]float64
+
+	// Knobs (copied from CoordinatorOptions at construction).
+	splitGrace    time.Duration
+	splitHardness float64
+	splitDepth    int // max extra path bits; 0 disables splitting
+	splitBits     int // path bits the encoding actually has
+	hedge         bool
+
+	nextJobID int
+
+	// Counters surfaced on CoordinatorResult and the metrics registry.
+	splits, hedges, steals, superseded int
+	maxDepth                           int
+}
+
+func newScheduler(opts CoordinatorOptions, splitBits int) *scheduler {
+	return &scheduler{
+		notify:        make(chan struct{}, 1),
+		inflight:      make(map[int]*assignment),
+		decided:       make(map[partition.Cube]bool),
+		split:         make(map[partition.Cube]bool),
+		splitting:     make(map[partition.Cube]bool),
+		hardness:      make(map[partition.Cube]float64),
+		splitGrace:    opts.SplitGrace,
+		splitHardness: opts.SplitHardness,
+		splitDepth:    opts.SplitDepth,
+		splitBits:     splitBits,
+		hedge:         opts.Hedge,
+	}
+}
+
+// wake nudges one idle serve loop without blocking.
+func (s *scheduler) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// push re-queues a cube (initial fill, retry, certificate rejection).
+func (s *scheduler) push(c partition.Cube) {
+	s.mu.Lock()
+	s.queue = append(s.queue, c)
+	s.mu.Unlock()
+	s.wake()
+}
+
+// tryAcquire makes one non-blocking scheduling decision for an idle
+// worker: a queued cube if any (dispatch it), else a split victim if
+// splitting is enabled and a straggler qualifies (the caller performs
+// the split), else a hedge duplicate of the longest-running cube. Both
+// returns nil means there is nothing to do right now.
+func (s *scheduler) tryAcquire(key string, wc *conn) (a *assignment, victim *assignment) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) > 0 {
+		cube := s.queue[0]
+		s.queue = s.queue[1:]
+		if len(s.queue) > 0 {
+			s.wake() // more work: don't strand the other idle loops
+		}
+		return s.register(cube, key, wc, false), nil
+	}
+	if s.splitDepth > 0 {
+		if v := s.splitVictimLocked(now); v != nil {
+			// Reserve the victim: from this point its result (and any
+			// hedge twin's) can no longer win. The caller commits the
+			// SPLIT record and calls completeSplit.
+			s.splitting[v.cube] = true
+			return nil, v
+		}
+	}
+	if s.hedge {
+		if h := s.hedgeCandidateLocked(now, key); h != nil {
+			s.hedges++
+			return s.register(h.cube, key, wc, true), nil
+		}
+	}
+	return nil, nil
+}
+
+// register creates and indexes a running assignment; callers hold mu.
+func (s *scheduler) register(cube partition.Cube, key string, wc *conn, hedge bool) *assignment {
+	s.nextJobID++
+	a := &assignment{
+		jobID:   s.nextJobID,
+		cube:    cube,
+		worker:  key,
+		wc:      wc,
+		started: time.Now(),
+		hedge:   hedge,
+	}
+	s.inflight[a.jobID] = a
+	if d := cube.Depth(); d > s.maxDepth {
+		s.maxDepth = d
+	}
+	return a
+}
+
+// splitVictimLocked picks the hardest in-flight cube past the grace
+// period that can still be refined; callers hold mu.
+func (s *scheduler) splitVictimLocked(now time.Time) *assignment {
+	var best *assignment
+	var bestHardness float64
+	for _, a := range s.inflight {
+		if a.state != asgnRunning || s.cubeSupersededLocked(a.cube) {
+			continue
+		}
+		if now.Sub(a.started) < s.splitGrace {
+			continue
+		}
+		h := s.hardness[a.cube]
+		if h < s.splitHardness {
+			continue
+		}
+		if !s.canSplitLocked(a.cube) {
+			continue
+		}
+		if best == nil || h > bestHardness ||
+			(h == bestHardness && a.started.Before(best.started)) {
+			best, bestHardness = a, h
+		}
+	}
+	return best
+}
+
+// canSplitLocked: a multi-partition range always halves; a single
+// partition needs an unfixed split bit under both the depth cap and the
+// encoding's supply.
+func (s *scheduler) canSplitLocked(c partition.Cube) bool {
+	if c.Size() > 1 {
+		return true
+	}
+	return c.Depth() < s.splitDepth && c.Depth() < s.splitBits
+}
+
+func (s *scheduler) cubeSupersededLocked(c partition.Cube) bool {
+	return s.decided[c] || s.split[c] || s.splitting[c]
+}
+
+// hedgeCandidateLocked picks the longest-running un-hedged cube past the
+// grace period whose assignment runs on a different worker.
+func (s *scheduler) hedgeCandidateLocked(now time.Time, key string) *assignment {
+	running := make(map[partition.Cube]int)
+	for _, a := range s.inflight {
+		if a.state == asgnRunning {
+			running[a.cube]++
+		}
+	}
+	var best *assignment
+	for _, a := range s.inflight {
+		if a.state != asgnRunning || s.cubeSupersededLocked(a.cube) {
+			continue
+		}
+		if running[a.cube] > 1 || a.worker == key {
+			continue
+		}
+		if now.Sub(a.started) < s.splitGrace {
+			continue
+		}
+		if best == nil || a.started.Before(best.started) {
+			best = a
+		}
+	}
+	return best
+}
+
+// completeSplit finalises a split whose SPLIT record is durably
+// committed: the victim's cube is superseded, every assignment still
+// racing on it is cancelled, the two children enter the tree, and one
+// child is handed straight to the idle caller (the steal). Returns the
+// caller's assignment and the second child cube left on the queue.
+func (s *scheduler) completeSplit(victim *assignment, key string, wc *conn) (a *assignment, stolen bool) {
+	left, right := victim.cube.Split()
+	var cancels []*assignment
+	s.mu.Lock()
+	delete(s.splitting, victim.cube)
+	s.split[victim.cube] = true
+	for _, t := range s.inflight {
+		if t.cube == victim.cube && t.state == asgnRunning {
+			t.state = asgnSuperseded
+			cancels = append(cancels, t)
+		}
+	}
+	s.splits++
+	stolen = victim.worker != key
+	if stolen {
+		s.steals++
+	}
+	s.queue = append(s.queue, right)
+	a = s.register(left, key, wc, false)
+	s.mu.Unlock()
+	s.wake()
+	for _, t := range cancels {
+		_ = t.wc.send(&Message{Type: "cancel", JobID: t.jobID})
+	}
+	return a, stolen
+}
+
+// abortSplit rolls back a split reservation whose SPLIT record could not
+// be committed (the run is ending): the victim stays superseded — its
+// claim window already closed — but no children are created.
+func (s *scheduler) abortSplit(victim *assignment) {
+	s.mu.Lock()
+	delete(s.splitting, victim.cube)
+	s.split[victim.cube] = true
+	s.mu.Unlock()
+}
+
+// hardnessOf reads a cube's latest live hardness.
+func (s *scheduler) hardnessOf(c partition.Cube) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hardness[c]
+}
+
+// note folds a heartbeat's live hardness into the assignment's cube.
+func (s *scheduler) note(a *assignment, hardness float64) {
+	s.mu.Lock()
+	if a.state == asgnRunning {
+		s.hardness[a.cube] = hardness
+	}
+	s.mu.Unlock()
+}
+
+// claim decides the race for a definite (or terminally budgeted) result:
+// it wins iff the assignment still runs and its cube was not superseded.
+// On a win the cube is decided and every twin still racing is cancelled;
+// on a loss the result must be discarded (not journaled, not charged).
+func (s *scheduler) claim(a *assignment) bool {
+	var cancels []*assignment
+	s.mu.Lock()
+	delete(s.inflight, a.jobID)
+	delete(s.hardness, a.cube)
+	if a.state != asgnRunning || s.cubeSupersededLocked(a.cube) {
+		a.state = asgnSuperseded
+		s.superseded++
+		s.mu.Unlock()
+		return false
+	}
+	a.state = asgnClaimed
+	s.decided[a.cube] = true
+	for _, t := range s.inflight {
+		if t.cube == a.cube && t.state == asgnRunning {
+			t.state = asgnSuperseded
+			cancels = append(cancels, t)
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range cancels {
+		_ = t.wc.send(&Message{Type: "cancel", JobID: t.jobID})
+	}
+	return true
+}
+
+// release retires an assignment that did not produce an accepted verdict
+// (transport failure, retryable Unknown, rejected certificate). It
+// reports whether the cube still needs the caller's attention — false
+// when the cube was superseded (children or a twin carry it) or another
+// assignment still races on it.
+func (s *scheduler) release(a *assignment) (requeue bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, a.jobID)
+	if a.state != asgnRunning || s.cubeSupersededLocked(a.cube) {
+		if a.state == asgnRunning {
+			a.state = asgnSuperseded
+		}
+		s.superseded++
+		return false
+	}
+	a.state = asgnSuperseded // retired; a twin may still win
+	for _, t := range s.inflight {
+		if t.cube == a.cube && t.state == asgnRunning {
+			return false // the hedge twin is still racing: cube covered
+		}
+	}
+	delete(s.hardness, a.cube)
+	return true
+}
+
+// stats snapshots the scheduler counters.
+func (s *scheduler) stats() (splits, hedges, steals, superseded, maxDepth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.splits, s.hedges, s.steals, s.superseded, s.maxDepth
+}

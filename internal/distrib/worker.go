@@ -195,11 +195,34 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 	if err := wc.send(&Message{Type: "hello", WorkerName: w.opts.Name, Cores: w.opts.Cores}); err != nil {
 		return 0, false, err
 	}
-	for {
-		m, err := wc.recv(0)
-		if err != nil {
-			return jobs, false, err
+	// A dedicated reader pump owns the socket's read side for the whole
+	// session, so the main loop can keep consuming messages while a job
+	// runs — that is what lets a mid-job "cancel" interrupt the solvers
+	// instead of waiting in the TCP buffer behind a long solve.
+	type recvRes struct {
+		m   *Message
+		err error
+	}
+	msgs := make(chan recvRes)
+	go func() {
+		for {
+			m, err := wc.recv(0)
+			select {
+			case msgs <- recvRes{m, err}:
+			case <-stop:
+				return
+			}
+			if err != nil {
+				return
+			}
 		}
+	}()
+	for {
+		r := <-msgs
+		if r.err != nil {
+			return jobs, false, r.err
+		}
+		m := r.m
 		switch m.Type {
 		case "welcome":
 			// The coordinator announces its role and lease epoch before
@@ -213,6 +236,9 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 			}
 		case "stop":
 			return jobs, true, nil
+		case "cancel":
+			// A cancel for a job whose result already went out (the
+			// supersession race resolved on the wire): nothing to do.
 		case "job":
 			if err := w.checkEpoch(m.Epoch); err != nil {
 				return jobs, false, err
@@ -236,8 +262,55 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 				}
 				f = nil // a stall falls through: the job still runs, late and honestly
 			}
-			reply, cert := w.runJobWithHeartbeats(ctx, wc, m, f)
-			mutateResult(f, m, reply, &cert)
+			// The job runs under its own cancellable context while the
+			// main loop keeps consuming messages: a "cancel" for this job
+			// interrupts the solvers, which surface a cancelled Unknown —
+			// the acknowledgment the coordinator's supersession protocol
+			// expects. The result is always sent before the next job is
+			// read, preserving the sequential-job invariant.
+			jobCtx, cancelJob := context.WithCancel(ctx)
+			type outcome struct {
+				reply *Message
+				cert  *Certificate
+			}
+			resCh := make(chan outcome, 1)
+			jm := m
+			go func() {
+				reply, cert := w.runJobWithHeartbeats(jobCtx, wc, jm, f)
+				resCh <- outcome{reply, cert}
+			}()
+			var out outcome
+			var rerr error
+		waitJob:
+			for {
+				select {
+				case out = <-resCh:
+					break waitJob
+				case r := <-msgs:
+					if r.err != nil {
+						rerr = r.err
+					} else if r.m.Type == "cancel" && r.m.JobID == jm.JobID {
+						cancelJob()
+						continue
+					} else if r.m.Type == "cancel" {
+						continue // stale cancel for an earlier job
+					} else {
+						rerr = fmt.Errorf("distrib: unexpected message %q mid-job", r.m.Type)
+					}
+					cancelJob()
+					<-resCh
+					cancelJob = nil
+					break waitJob
+				}
+			}
+			if cancelJob != nil {
+				cancelJob()
+			}
+			if rerr != nil {
+				return jobs, false, rerr
+			}
+			reply, cert := out.reply, out.cert
+			mutateResult(f, jm, reply, &cert)
 			certData, cerr := encodeCertificate(cert)
 			if cerr != nil {
 				reply.Error = fmt.Sprintf("certificate encoding: %v", cerr)
@@ -260,7 +333,7 @@ func (w *worker) session(ctx context.Context, addr string) (jobs int, stopped bo
 			if err := wc.send(reply); err != nil {
 				return jobs, false, err
 			}
-			if err := sendCert(wc, m.JobID, certData); err != nil {
+			if err := sendCert(wc, jm.JobID, certData); err != nil {
 				return jobs, false, err
 			}
 			jobs++
@@ -566,6 +639,22 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 	if f != nil && f.Kind == FaultPanic {
 		panic(fmt.Sprintf("injected panic at job %d", f.Job))
 	}
+	if f != nil && f.Kind == FaultSlow && f.Slow > 0 {
+		// A straggler, not a corpse: heartbeats keep flowing (with zero
+		// progress) while the job sits on its hands, so only the adaptive
+		// scheduler — not the liveness monitor — can notice. The sleep
+		// aborts promptly on cancel so a split/hedge supersession still
+		// frees the worker.
+		t := time.NewTimer(f.Slow)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			reply.Verdict = core.Unknown.String()
+			reply.Cause = sat.CauseCancelled.String()
+			return reply, nil
+		case <-t.C:
+		}
+	}
 	jt := base
 	var coll *obs.CollectorSink
 	if m.TraceID != "" {
@@ -603,6 +692,7 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 		Partitions:     m.Partitions,
 		From:           m.From,
 		To:             m.To + 1,
+		CubePath:       m.CubePath,
 		ChunkTimeout:   time.Duration(m.ChunkTimeoutMillis) * time.Millisecond,
 		ChunkConflicts: m.ChunkConflicts,
 		MemBudgetMB:    m.MemBudgetMB,
@@ -641,6 +731,11 @@ func runJob(ctx context.Context, m *Message, cores int, progress *jobProgress, f
 			reply.Cause = sat.CauseTimeout.String()
 		case len(res.Coverage.ConflictBudget) > 0:
 			reply.Cause = sat.CauseConflictBudget.String()
+		case len(res.Coverage.Cancelled) > 0:
+			// A mid-solve cancel (hedge loser, split supersession): the
+			// coordinator discards this result without charging the
+			// attempt budget.
+			reply.Cause = sat.CauseCancelled.String()
 		}
 	}
 	// Aggregate the per-partition search statistics so the coordinator

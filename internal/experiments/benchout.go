@@ -20,8 +20,16 @@ type BenchEntry struct {
 	Progress   float64 `json:"progress_at_solve"`
 	// PeakMemBytes is the largest single-instance solver footprint for
 	// this cell (solver live-byte accounting, not process RSS).
-	PeakMemBytes int64  `json:"peak_mem_bytes,omitempty"`
-	Verdict      string `json:"verdict"`
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
+	// Splits and CubeDepth record the adaptive-scheduling activity for
+	// this cell: cube splits performed and the deepest cube path
+	// reached. Hedged counts speculative duplicate dispatches (only a
+	// distributed run hedges; local cells record zero). All omitted when
+	// adaptive scheduling was off.
+	Splits    int    `json:"splits,omitempty"`
+	CubeDepth int    `json:"cube_depth,omitempty"`
+	Hedged    int    `json:"hedged,omitempty"`
+	Verdict   string `json:"verdict"`
 }
 
 // BenchFile is the top-level shape of BENCH_<date>.json.
@@ -46,6 +54,8 @@ func BenchEntries(rows []Table2Row) []BenchEntry {
 				Partitions:   r.Partitions[cores],
 				Progress:     r.Progress[cores],
 				PeakMemBytes: r.PeakMemBytes[cores],
+				Splits:       r.Splits[cores],
+				CubeDepth:    r.CubeDepth[cores],
 				Verdict:      r.Verdicts[cores].String(),
 			})
 		}

@@ -43,6 +43,14 @@ type Config struct {
 	// on single-core hosts, using the same protocol the paper used to
 	// simulate its 128-core cluster.
 	Real bool
+	// SplitDepth enables adaptive cube splitting in the Table 2 runs
+	// (Real mode only — the makespan simulation solves sequentially, so
+	// no instance ever straggles behind an idle worker). SplitGrace and
+	// SplitHardness tune the trigger; splits per cell land in the
+	// BENCH_*.json trajectory.
+	SplitDepth    int
+	SplitGrace    time.Duration
+	SplitHardness float64
 }
 
 // DefaultConfig returns the laptop-scale configuration.
@@ -108,6 +116,11 @@ type Table2Row struct {
 	// accounting) — the resource-governance signal tracked alongside
 	// times so memory regressions show up in the bench trajectory too.
 	PeakMemBytes map[int]int64
+	// Splits and CubeDepth record the adaptive-scheduling activity per
+	// core count (Config.SplitDepth): cube splits performed and the
+	// deepest cube path reached. Zero when splitting is disabled.
+	Splits    map[int]int
+	CubeDepth map[int]int
 }
 
 // Speedup returns times[1] / times[cores].
@@ -142,11 +155,16 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 			Progress:     map[int]float64{},
 			Partitions:   map[int]int{},
 			PeakMemBytes: map[int]int64{},
+			Splits:       map[int]int{},
+			CubeDepth:    map[int]int{},
 		}
 		for _, cores := range cfg.Cores {
 			res, err := core.Verify(ctx, cell.Bench.Program, core.Options{
 				Unwind: cell.U, Contexts: cell.C, Cores: cores,
 				SimulateParallel: !cfg.Real,
+				SplitDepth:       cfg.SplitDepth,
+				SplitGrace:       cfg.SplitGrace,
+				SplitHardness:    cfg.SplitHardness,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s u=%d c=%d cores=%d: %w",
@@ -173,6 +191,8 @@ func Table2(ctx context.Context, w io.Writer, cfg Config) ([]Table2Row, error) {
 			row.Conflicts[cores] = conflicts
 			row.Progress[cores] = minProgress
 			row.PeakMemBytes[cores] = peakMem
+			row.Splits[cores] = res.Splits
+			row.CubeDepth[cores] = res.MaxCubeDepth
 		}
 		rows = append(rows, row)
 		printTable2Row(w, cfg, &row)

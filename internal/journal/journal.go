@@ -116,9 +116,13 @@ func HashProgram(source string) string {
 // ChunkRecord is one committed chunk verdict. From/To are inclusive
 // partition indices (From == To for per-partition local runs).
 type ChunkRecord struct {
-	From    int    `json:"from"`
-	To      int    `json:"to"`
-	Verdict string `json:"verdict"` // sat.Status string: "SAT" | "UNSAT" | "UNKNOWN"
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Path pins the cube's extra split-bit polarities (adaptive cube
+	// splitting, partition.Cube.Path); empty for static range chunks.
+	// Together with From/To it identifies a node of the cube tree.
+	Path    string `json:"path,omitempty"`
+	Verdict string `json:"verdict"` // sat.Status string, or "SPLIT" (VerdictSplit)
 	// Winner is the partition holding the satisfying assignment
 	// (Verdict == "SAT"; -1 otherwise).
 	Winner int `json:"winner,omitempty"`
@@ -145,6 +149,18 @@ type ChunkRecord struct {
 	// false: the solving process is its own root of trust.
 	Certified bool `json:"certified,omitempty"`
 }
+
+// VerdictSplit marks a ChunkRecord that supersedes its cube rather than
+// deciding it: the cube named by From/To/Path was split into its two
+// child cubes (partition.Cube.Split), which carry the verdict from here
+// on. A resume replays SPLIT records to rebuild the cube tree, and any
+// later verdict record for a split cube is stale and must be ignored.
+// The record is committed BEFORE the children are dispatched, so a crash
+// between split and child completion resumes with the children pending.
+const VerdictSplit = "SPLIT"
+
+// Split reports whether the record is a cube-split marker.
+func (r ChunkRecord) Split() bool { return r.Verdict == VerdictSplit }
 
 // RetryUnder reports whether a budget-exhausted record should be
 // re-solved rather than replayed under the given per-chunk budgets

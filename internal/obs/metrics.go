@@ -262,6 +262,38 @@ func (r *Registry) Samples(name string) []Sample {
 	return out
 }
 
+// Unregister removes one series (the given label pairs) from the family
+// name, so departed label values (an evicted worker, say) stop being
+// rendered with their last reading forever. Removing the last series
+// keeps the family registered: re-requesting the same name+labels later
+// creates a fresh zero-valued instrument. Holders of the old instrument
+// pointer may keep updating it harmlessly — it is simply no longer
+// rendered. A nil registry or unknown family/series is a no-op.
+func (r *Registry) Unregister(name string, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return
+	}
+	key := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, l := range f.order {
+		if l == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // DefaultDurationBuckets are upper bounds in seconds suited to solver
 // phase and job durations (1ms … ~2min).
 var DefaultDurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 30, 120}

@@ -64,6 +64,9 @@ type InstanceResult struct {
 	// ProgressEvery armed the solver; bounded to the most recent
 	// sat.DefaultSamplerPoints points).
 	Samples []sat.Sample
+	// Cubes is the number of leaf cubes adaptive splitting folded into
+	// this per-partition result (0: the partition was solved whole).
+	Cubes int
 }
 
 // Result is the aggregate outcome.
@@ -92,6 +95,11 @@ type Result struct {
 	JournalSealed bool
 	// JournalSealCause is the write error that sealed the journal.
 	JournalSealCause string
+	// Splits counts adaptive cube splits performed by this run (resumed
+	// splits replayed from the journal are not re-counted); MaxCubeDepth
+	// is the deepest cube path reached, including resumed paths.
+	Splits       int
+	MaxCubeDepth int
 }
 
 // Options configures the parallel run.
@@ -153,6 +161,21 @@ type Options struct {
 	Progress func(partition int, st sat.Stats)
 	// ProgressEvery is the conflict cadence of Progress callbacks.
 	ProgressEvery int64
+	// SplitDepth enables in-process adaptive cube splitting: an idle
+	// worker that finds the queue empty interrupts the hardest straggling
+	// instance past SplitGrace and splits its cube on the next unfixed
+	// literal of SplitLits, re-queueing both halves — up to SplitDepth
+	// extra path bits per partition (0 disables; requires SplitLits).
+	SplitDepth int
+	// SplitGrace is the minimum solving age before an instance may be
+	// split (default 15s when SplitDepth > 0).
+	SplitGrace time.Duration
+	// SplitHardness is the minimum live hardness score before an instance
+	// qualifies for splitting (0: any straggler past the grace).
+	SplitHardness float64
+	// SplitLits is the canonical split-literal sequence (from
+	// partition.SplitLits) whose polarities cube paths fix.
+	SplitLits []cnf.Lit
 }
 
 // instrument arms one solver instance with the live progress hook and
@@ -214,26 +237,31 @@ func (o *Options) replayable(rec journal.ChunkRecord, part int) bool {
 }
 
 // committedRecords indexes the journal's committed set by partition for
-// per-partition (From == To) records.
+// per-partition (From == To) records. Cube-leaf records (non-empty
+// Path) and SPLIT markers written by an adaptive run are skipped: a
+// sub-cube verdict covers only part of its partition, so a
+// non-adaptive resume must re-solve the whole partition rather than
+// replay a fragment as if it were the full verdict.
 func committedRecords(j *journal.Journal) map[int]journal.ChunkRecord {
 	if j == nil {
 		return nil
 	}
 	out := make(map[int]journal.ChunkRecord)
 	for _, rec := range j.Committed() {
-		if rec.From == rec.To {
+		if rec.From == rec.To && rec.Path == "" && !rec.Split() {
 			out[rec.From] = rec
 		}
 	}
 	return out
 }
 
-// commit journals one instance verdict. Definite verdicts and budget
+// commit journals one instance verdict (path is the instance's cube
+// path, empty outside adaptive splitting). Definite verdicts and budget
 // exhaustions are durable; cancellations are deliberately not committed
 // (the partition is in-flight and must be requeued by a resume). A
 // budget exhaustion pins the budgets it was computed under, so a resume
 // can tell whether its own budgets supersede the give-up.
-func (o *Options) commit(inst InstanceResult) error {
+func (o *Options) commit(inst InstanceResult, path string) error {
 	if o.Journal == nil || inst.Resumed {
 		return nil
 	}
@@ -241,7 +269,7 @@ func (o *Options) commit(inst InstanceResult) error {
 		return nil
 	}
 	rec := journal.ChunkRecord{
-		From: inst.Partition, To: inst.Partition,
+		From: inst.Partition, To: inst.Partition, Path: path,
 		Verdict: inst.Status.String(),
 		Winner:  winnerOf(inst),
 		Cause:   inst.Cause.String(),
@@ -269,6 +297,9 @@ func winnerOf(inst InstanceResult) int {
 func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opts Options) (*Result, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("parallel: no partitions")
+	}
+	if opts.SplitDepth > 0 && len(opts.SplitLits) > 0 {
+		return solveAdaptive(ctx, f, parts, opts)
 	}
 	workers := opts.Workers
 	if workers <= 0 || workers > len(parts) {
@@ -496,7 +527,7 @@ func Solve(ctx context.Context, f *cnf.Formula, parts []partition.Partition, opt
 			// Commit before acknowledging the verdict in the shared
 			// result, so a crash after this point can only lose work the
 			// journal already holds — never claim work it lost.
-			if cerr := opts.commit(inst); cerr != nil {
+			if cerr := opts.commit(inst, ""); cerr != nil {
 				if errors.Is(cerr, journal.ErrSealed) {
 					// Full disk is not a wrong verdict: degrade loudly to
 					// journal-less operation and keep solving. The journal

@@ -125,7 +125,7 @@ func Simulate(ctx context.Context, f *cnf.Formula, parts []partition.Partition, 
 		if status == sat.Unsat && opts.KeepProofs {
 			inst.Proof = solver.ProofLog()
 		}
-		if cerr := opts.commit(inst); cerr != nil {
+		if cerr := opts.commit(inst, ""); cerr != nil {
 			return nil, fmt.Errorf("parallel: journal commit failed: %w", cerr)
 		}
 		res.Instances = append(res.Instances, inst)

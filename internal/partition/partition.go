@@ -84,6 +84,164 @@ type Chunk struct {
 	To   int // inclusive
 }
 
+// Cube is one node of the dynamic cube tree used by straggler-resilient
+// scheduling. A cube either covers a contiguous range of partition
+// indices (Path empty, the static chunk shape) or refines a single
+// partition by fixing additional scheduler bits: Path is a string of '0'
+// and '1' polarities over the canonical SplitLits sequence, so the
+// assumption cube is the partition's tid-LSB assumptions plus one unit
+// literal per path character. Path is only meaningful when From == To.
+type Cube struct {
+	From int    // inclusive partition index
+	To   int    // inclusive partition index
+	Path string // extra split-bit polarities, '0'/'1' per SplitLits entry
+}
+
+// CubeOf lifts a static chunk to a cube-tree root.
+func CubeOf(c Chunk) Cube { return Cube{From: c.From, To: c.To} }
+
+// Chunk returns the partition-index range the cube covers.
+func (c Cube) Chunk() Chunk { return Chunk{From: c.From, To: c.To} }
+
+// Size returns the number of partition indices under the cube.
+func (c Cube) Size() int { return c.To - c.From + 1 }
+
+// Depth returns how many extra split bits the cube fixes.
+func (c Cube) Depth() int { return len(c.Path) }
+
+// Key renders a stable map/display key: "from-to" for range cubes,
+// "idx/path" for path-refined cubes.
+func (c Cube) Key() string {
+	if c.Path == "" {
+		if c.From == c.To {
+			return fmt.Sprintf("%d", c.From)
+		}
+		return fmt.Sprintf("%d-%d", c.From, c.To)
+	}
+	return fmt.Sprintf("%d/%s", c.From, c.Path)
+}
+
+// Split halves the cube: a multi-partition range splits at its midpoint;
+// a single partition splits by fixing the next SplitLits bit both ways.
+// The caller bounds path growth against len(SplitLits) and its depth cap.
+func (c Cube) Split() (Cube, Cube) {
+	if c.Size() > 1 {
+		mid := c.From + (c.Size()-1)/2
+		return Cube{From: c.From, To: mid}, Cube{From: mid + 1, To: c.To}
+	}
+	return Cube{From: c.From, To: c.To, Path: c.Path + "0"},
+		Cube{From: c.From, To: c.To, Path: c.Path + "1"}
+}
+
+// ParsePath validates a cube path string.
+func ParsePath(path string) error {
+	for i := 0; i < len(path); i++ {
+		if path[i] != '0' && path[i] != '1' {
+			return fmt.Errorf("partition: cube path %q: byte %d is not '0'/'1'", path, i)
+		}
+	}
+	return nil
+}
+
+// SplitLits returns the canonical ordered sequence of literals available
+// for cube-path refinement beyond the p = log2(parts) tid-LSB bits the
+// partition index already fixes. The order is deterministic for a given
+// encoding, so coordinator and workers derive identical cubes from
+// (partition index, path): first any tid LSBs the partition count left
+// unused, then the higher tid bits breadth-first across contexts, then
+// the context-switch word bits. Constant and duplicate bits are skipped.
+func SplitLits(enc *vc.Encoded, parts int) []cnf.Lit {
+	var lsbs []cnf.Lit
+	for _, l := range enc.TidLSBs {
+		if l != cnf.LitUndef {
+			lsbs = append(lsbs, l)
+		}
+	}
+	p := 0
+	for 1<<uint(p) < parts {
+		p++
+	}
+	seen := make(map[cnf.Lit]bool)
+	usable := func(l cnf.Lit) bool {
+		if l == cnf.LitUndef {
+			return false
+		}
+		if _, ok := enc.Ctx.B.IsConst(l); ok {
+			return false
+		}
+		pos := l
+		if pos.Neg() {
+			pos = pos.Not()
+		}
+		if seen[pos] {
+			return false
+		}
+		seen[pos] = true
+		return true
+	}
+	var out []cnf.Lit
+	// Mark the index-fixed LSBs as seen so they are never re-split.
+	for j := 0; j < p && j < len(lsbs); j++ {
+		usable(lsbs[j])
+	}
+	for j := p; j < len(lsbs); j++ {
+		if usable(lsbs[j]) {
+			out = append(out, lsbs[j])
+		}
+	}
+	symbolic := func(c int) bool {
+		return c < len(enc.TidLSBs) && enc.TidLSBs[c] != cnf.LitUndef
+	}
+	maxW := 0
+	for c, v := range enc.TidVecs {
+		if symbolic(c) && v.Width() > maxW {
+			maxW = v.Width()
+		}
+	}
+	for bit := 1; bit < maxW; bit++ {
+		for c, v := range enc.TidVecs {
+			if symbolic(c) && bit < v.Width() && usable(v[bit]) {
+				out = append(out, v[bit])
+			}
+		}
+	}
+	maxW = 0
+	for c, v := range enc.CsVecs {
+		if symbolic(c) && v.Width() > maxW {
+			maxW = v.Width()
+		}
+	}
+	for bit := 0; bit < maxW; bit++ {
+		for c, v := range enc.CsVecs {
+			if symbolic(c) && bit < v.Width() && usable(v[bit]) {
+				out = append(out, v[bit])
+			}
+		}
+	}
+	return out
+}
+
+// PathAssumptions maps a cube path to its unit assumption literals over
+// the canonical SplitLits sequence ('1' keeps the literal, '0' negates).
+func PathAssumptions(path string, lits []cnf.Lit) ([]cnf.Lit, error) {
+	if err := ParsePath(path); err != nil {
+		return nil, err
+	}
+	if len(path) > len(lits) {
+		return nil, fmt.Errorf("partition: cube path depth %d exceeds %d available split bits",
+			len(path), len(lits))
+	}
+	out := make([]cnf.Lit, len(path))
+	for i := 0; i < len(path); i++ {
+		l := lits[i]
+		if path[i] == '0' {
+			l = l.Not()
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
 // Size returns the number of partitions in the chunk.
 func (c Chunk) Size() int { return c.To - c.From + 1 }
 

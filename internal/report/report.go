@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Manifest pins what one run verified and how it was split.
@@ -61,6 +62,34 @@ type PartitionRow struct {
 	ConflictRate float64 `json:"conflict_rate,omitempty"`
 }
 
+// CubeRow is one cube-tree node's final entry: a work unit the
+// scheduler dispatched (a chunk, or a sub-cube born from a split) and
+// what became of it. A Verdict of "SPLIT" marks an interior node whose
+// two children carry its partition range onward.
+type CubeRow struct {
+	// Key is the cube's canonical name: "i" for one partition, "i-j"
+	// for a range, "i/path" for a refined single partition.
+	Key  string `json:"key"`
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Path string `json:"path,omitempty"`
+	// Worker is who produced the accepted verdict (for SPLIT: who was
+	// running the cube when it was split out from under them).
+	Worker  string `json:"worker,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	// Hardness is the live hardness reading that made it a split victim
+	// (SPLIT rows only).
+	Hardness    float64 `json:"hardness,omitempty"`
+	SolveMillis int64   `json:"solve_millis,omitempty"`
+	Certified   bool    `json:"certified,omitempty"`
+	// Hedged marks a verdict won by a speculative duplicate dispatch;
+	// Stolen marks a split whose child was taken by a different worker
+	// than the straggler's.
+	Hedged bool `json:"hedged,omitempty"`
+	Stolen bool `json:"stolen,omitempty"`
+}
+
 // ProfileRecord indexes one captured pprof profile in the run report,
 // so `parbmc report` can point at the evidence for each phase.
 type ProfileRecord struct {
@@ -87,7 +116,12 @@ type Report struct {
 	Verdict    string         `json:"verdict,omitempty"`
 	WallMillis int64          `json:"wall_millis,omitempty"`
 	Partitions []PartitionRow `json:"partitions,omitempty"`
-	Snapshots  []Snapshot     `json:"snapshots,omitempty"`
+	// Cubes is the run's cube tree in scheduling order: the static
+	// chunks plus every sub-cube adaptive splitting created, each with
+	// its fate (verdict, SPLIT, hedged win). Empty for runs that never
+	// split or hedged nothing — the partition table already covers them.
+	Cubes     []CubeRow  `json:"cubes,omitempty"`
+	Snapshots []Snapshot `json:"snapshots,omitempty"`
 	// Profiles indexes the pprof CPU/heap captures of the run's phases
 	// (populated when the process ran with -profile-dir).
 	Profiles []ProfileRecord `json:"profiles,omitempty"`
@@ -109,6 +143,7 @@ type Recorder struct {
 	mu    sync.Mutex
 	rep   Report
 	rows  map[int]*PartitionRow
+	cubes []CubeRow
 	start time.Time
 }
 
@@ -238,6 +273,18 @@ func (r *Recorder) Finish(row PartitionRow) {
 	}
 }
 
+// CubeFinish appends one cube-tree node's final entry (an accepted
+// verdict, or the SPLIT that replaced the cube with its children).
+// Entries keep arrival order — the order the tree evolved in.
+func (r *Recorder) CubeFinish(row CubeRow) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cubes = append(r.cubes, row)
+	r.mu.Unlock()
+}
+
 // Warn records one degradation notice. Duplicate messages collapse to
 // the first occurrence: a seal that degrades a thousand commits is one
 // fact, not a thousand lines.
@@ -296,6 +343,7 @@ func (r *Recorder) Build() *Report {
 	sort.Slice(rep.Partitions, func(i, j int) bool {
 		return rep.Partitions[i].Partition < rep.Partitions[j].Partition
 	})
+	rep.Cubes = append([]CubeRow(nil), r.cubes...)
 	rep.Spans = append([]obs.Event(nil), rep.Spans...)
 	rep.Snapshots = append([]Snapshot(nil), rep.Snapshots...)
 	rep.Profiles = append([]ProfileRecord(nil), rep.Profiles...)
@@ -359,6 +407,11 @@ func Render(w io.Writer, rep *Report, extraSpans ...[]obs.Event) {
 		fmt.Fprintln(w, "  (no per-partition data recorded)")
 	} else {
 		renderPartitionTable(w, rep.Partitions)
+	}
+
+	if len(rep.Cubes) > 0 {
+		fmt.Fprintf(w, "\nCube tree (%d nodes, scheduling order):\n", len(rep.Cubes))
+		renderCubeTree(w, rep.Cubes)
 	}
 
 	tree := obs.Merge(append([][]obs.Event{rep.Spans}, extraSpans...)...)
@@ -445,6 +498,42 @@ func renderPartitionTable(w io.Writer, rows []PartitionRow) {
 		}
 		fmt.Fprintf(w, "  hardness: max = %.1f (partition %d), min = %.1f, spread = %.1f — hottest partition is the next split candidate\n",
 			maxHard, hardest, minHard, maxHard-minHard)
+	}
+}
+
+// renderCubeTree prints the cube rows indented by tree depth. Rows
+// arrive in scheduling order, so every SPLIT precedes its children; the
+// children's depth is derived by re-splitting the parent exactly as the
+// scheduler did.
+func renderCubeTree(w io.Writer, rows []CubeRow) {
+	depth := map[string]int{}
+	for _, r := range rows {
+		d := depth[r.Key]
+		var flags []string
+		if r.Verdict == "SPLIT" {
+			flags = append(flags, fmt.Sprintf("hardness=%.1f", r.Hardness))
+		}
+		if r.Stolen {
+			flags = append(flags, "stolen")
+		}
+		if r.Hedged {
+			flags = append(flags, "hedged")
+		}
+		if r.Certified {
+			flags = append(flags, "certified")
+		}
+		if r.Cause != "" {
+			flags = append(flags, r.Cause)
+		}
+		fmt.Fprintf(w, "  %s%-16s %-8s %-16s %8d ms  %s\n",
+			strings.Repeat("  ", d), r.Key, orUnknown(r.Verdict), orDash(r.Worker),
+			r.SolveMillis, strings.Join(flags, ","))
+		if r.Verdict == "SPLIT" {
+			c := partition.Cube{From: r.From, To: r.To, Path: r.Path}
+			left, right := c.Split()
+			depth[left.Key()] = d + 1
+			depth[right.Key()] = d + 1
+		}
 	}
 }
 
